@@ -1,0 +1,23 @@
+"""Detection latency vs GC cadence (the flip side of paper section 6.2).
+
+Detecting every Nth cycle reduces overhead "at no cost to the efficacy"
+— every leak is still found — but time-to-detection scales with
+(interval x cadence).  This bench quantifies that trade-off.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.experiments.latency import format_latency_sweep, run_latency_sweep
+
+
+def test_detection_latency_sweep(benchmark):
+    results = once(benchmark, lambda: run_latency_sweep(
+        gc_intervals_ms=(0.5, 2.0, 8.0), cadences=(1, 5), leaks=60))
+    emit("detection_latency", format_latency_sweep(results))
+
+    by_key = {(r.gc_interval_ms, r.detect_every): r for r in results}
+    # Efficacy: everything detected everywhere.
+    assert all(r.detected == r.leaks for r in results)
+    # Latency scales with the effective detection period.
+    assert (by_key[(0.5, 1)].mean_ms() < by_key[(2.0, 1)].mean_ms()
+            < by_key[(8.0, 1)].mean_ms())
+    assert by_key[(2.0, 5)].mean_ms() > 2 * by_key[(2.0, 1)].mean_ms()

@@ -1,0 +1,122 @@
+"""Microbenchmarks of the runtime substrate itself.
+
+Not a paper artifact: these time the simulator's own primitives (channel
+ping-pong, goroutine spawn, GC cycles, detection passes) so regressions
+in the substrate are visible independently of the experiment numbers.
+"""
+
+from repro import GolfConfig, Runtime
+from repro.runtime.clock import MILLISECOND
+from repro.runtime.instructions import (
+    Go,
+    MakeChan,
+    Recv,
+    Send,
+)
+
+
+def _ping_pong_program(rounds):
+    rt = Runtime(procs=2, seed=1)
+
+    def main():
+        ping = yield MakeChan(0)
+        pong = yield MakeChan(0)
+
+        def echo():
+            while True:
+                value, ok = yield Recv(ping)
+                if not ok:
+                    return
+                yield Send(pong, value)
+
+        yield Go(echo)
+        for i in range(rounds):
+            yield Send(ping, i)
+            yield Recv(pong)
+        from repro.runtime.instructions import Close
+        yield Close(ping)
+
+    rt.spawn_main(main)
+    rt.run(max_instructions=100_000_000)
+    return rt
+
+
+def test_channel_ping_pong(benchmark):
+    rt = benchmark(lambda: _ping_pong_program(500))
+    assert rt.sched.instructions_executed > 1000
+
+
+def test_goroutine_spawn_join(benchmark):
+    def program():
+        rt = Runtime(procs=4, seed=1)
+
+        def main():
+            done = yield MakeChan(100)
+
+            def worker(i):
+                yield Send(done, i)
+
+            for i in range(100):
+                yield Go(worker, i)
+            for _ in range(100):
+                yield Recv(done)
+
+        rt.spawn_main(main)
+        rt.run(max_instructions=10_000_000)
+        return rt
+
+    rt = benchmark(program)
+    assert rt.sched.goroutines_spawned >= 101
+
+
+def _gc_heavy_runtime(golf: bool, leaked: int):
+    rt = Runtime(
+        procs=2, seed=1,
+        config=GolfConfig() if golf else GolfConfig.baseline(),
+    )
+
+    def main():
+        from repro.runtime.instructions import Alloc, Sleep
+        from repro.runtime.objects import Box, Slice
+        keep = yield Alloc(Slice())
+        for i in range(300):
+            item = yield Alloc(Box(i))
+            keep.append(item)
+
+        def leaker(c):
+            yield Send(c, 1)
+
+        for _ in range(leaked):
+            ch = yield MakeChan(0)
+            yield Go(leaker, ch)
+        yield Sleep(MILLISECOND)
+
+    rt.spawn_main(main)
+    rt.run(until_ns=100 * MILLISECOND, max_instructions=10_000_000)
+    return rt
+
+
+def test_baseline_gc_cycle(benchmark):
+    rt = _gc_heavy_runtime(golf=False, leaked=50)
+    benchmark(rt.gc)
+
+
+def test_golf_gc_cycle_with_detection(benchmark):
+    rt = _gc_heavy_runtime(golf=True, leaked=50)
+    benchmark(rt.gc)
+
+
+def test_detection_pass_only(benchmark):
+    from repro.core.detector import detect
+
+    rt = _gc_heavy_runtime(golf=True, leaked=100)
+
+    def one_pass():
+        rt.heap.begin_cycle()
+        result = detect(rt.heap, rt.sched.allgs)
+        from repro.core import masking
+        masking.unmask_all(rt.sched.allgs)
+        return result
+
+    result = benchmark(one_pass)
+    assert len(result.deadlocked) >= 1

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""GOLF's deliberate blind spots (paper, sections 4.3 and 5.5).
+
+Three programs whose goroutines are deadlocked but that GOLF treats
+specially, each for a principled reason:
+
+- Listing 4: a *global* channel is intrinsically reachable, so its
+  blocked sender can never be proven dead (soundness over completeness).
+- Listing 5: a runaway heartbeat goroutine keeps the dispatcher — and
+  through it the blocking channel — reachable forever.
+- Listing 6: the leaked goroutine's stack holds an object with a
+  finalizer; GOLF reports it but refuses to reclaim it, because running
+  the finalizer would be observable (here: a division by zero!).
+
+Run:  python examples/false_negatives.py
+"""
+
+from repro import GolfConfig, Runtime
+from repro.baselines.goleak import find_leaks
+from repro.runtime.clock import MICROSECOND, MILLISECOND
+from repro.runtime.instructions import (
+    Alloc,
+    Go,
+    MakeChan,
+    Recv,
+    Send,
+    SetFinalizer,
+    SetGlobal,
+    Sleep,
+)
+from repro.runtime.objects import Box, Struct
+
+
+def listing4_global_channel():
+    ch = yield MakeChan(0, label="package-level ch")
+    yield SetGlobal("pkg.ch", ch)
+
+    def sender():
+        yield Send(ch, 1)
+
+    yield Go(sender, name="global-ch-sender")
+
+
+def listing5_runaway_heartbeat():
+    ch = yield MakeChan(0, label="dispatcher.ch")
+    dispatcher = yield Alloc(Struct(ch=ch, ticks=0))
+
+    def heartbeat():
+        while True:
+            yield Sleep(250 * MICROSECOND)
+            dispatcher["ticks"] = dispatcher["ticks"] + 1
+
+    def sender():
+        yield Send(dispatcher["ch"], ())
+
+    yield Go(heartbeat, name="heartbeat")
+    yield Go(sender, name="dispatcher-sender")
+
+
+def listing6_finalizer(messages):
+    ch = yield MakeChan(0, label="values")
+
+    def print_average():
+        values = yield Alloc(Box([]))
+
+        def finalizer(box):
+            numbers = box.value
+            messages.append(
+                "Avg.: %s" % (sum(numbers) / len(numbers)))  # 0/0!
+
+        yield SetFinalizer(values, finalizer)
+        received, _ = yield Recv(ch)  # caller never sends
+        values.value = received
+
+    yield Go(print_average, name="averager")
+
+
+def run(body, *args):
+    rt = Runtime(procs=2, seed=5, config=GolfConfig())
+
+    def main():
+        yield Go(body, *args)
+        yield Sleep(MILLISECOND)
+
+    rt.spawn_main(main)
+    rt.run()
+    rt.gc_until_quiescent()
+    return rt
+
+
+if __name__ == "__main__":
+    print("Listing 4 - global channel:")
+    rt = run(listing4_global_channel)
+    print(f"  GOLF reports: {rt.reports.total()} (sound: the global "
+          f"channel could still be used)")
+    print(f"  goleak sees:  {len(find_leaks(rt))} lingering goroutine(s)")
+    assert rt.reports.total() == 0
+
+    print("Listing 5 - runaway heartbeat pins the dispatcher:")
+    rt = run(listing5_runaway_heartbeat)
+    print(f"  GOLF reports: {rt.reports.total()}")
+    print(f"  goleak sees:  {len(find_leaks(rt))} lingering goroutine(s)")
+    assert rt.reports.total() == 0
+
+    print("Listing 6 - finalizer on the leaked stack:")
+    messages = []
+    rt = run(listing6_finalizer, messages)
+    print(f"  GOLF reports: {rt.reports.total()} "
+          f"(detected, NOT reclaimed)")
+    observed = messages if messages else "none (matches unmodified Go)"
+    print(f"  finalizer output observed: {observed}")
+    assert rt.reports.total() == 1
+    assert messages == []  # the division by zero never happens

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Observability tour: what GOLF-era debugging looks like.
+
+One leaky program, four diagnostic views:
+
+1. the **goroutine profile** (pprof style) — where everything is parked;
+2. the **stack dump** (fatal-error style) — per-goroutine detail;
+3. the **GC trace** (gctrace style) — cycles, marking, detections;
+4. the **event trace** (GODEBUG style) — the leaked goroutine's life.
+
+Run:  python examples/observability.py
+"""
+
+from repro import GolfConfig, Runtime
+from repro.gc.stats import format_gctrace
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Go,
+    MakeChan,
+    Recv,
+    RunGC,
+    Send,
+    Sleep,
+)
+from repro.runtime.pprof import format_goroutine_profile, format_stack_dump
+
+
+def main_program():
+    jobs = yield MakeChan(0)
+    results = yield MakeChan(0)
+
+    def worker(i):
+        while True:
+            job, ok = yield Recv(jobs)
+            if not ok:
+                return
+            yield Send(results, job * 2)
+
+    for i in range(3):
+        yield Go(worker, i, name=f"pool-worker-{i}")
+
+    def orphan(c):
+        yield Send(c, "nobody will read this")
+
+    orphaned = yield MakeChan(0)
+    yield Go(orphan, orphaned, name="orphaned-task")
+    del orphaned
+
+    yield Send(jobs, 21)
+    value, _ = yield Recv(results)
+    assert value == 42
+    yield Sleep(50 * MICROSECOND)
+    yield RunGC()
+
+
+if __name__ == "__main__":
+    rt = Runtime(procs=2, seed=4, config=GolfConfig())
+    tracer = rt.enable_tracing()
+    rt.spawn_main(main_program)
+    rt.run(until_ns=10_000_000)
+
+    print("== goroutine profile (pprof) ==")
+    print(format_goroutine_profile(rt))
+
+    print("\n== stack dump ==")
+    print(format_stack_dump(rt))
+
+    print("\n== gctrace ==")
+    print(format_gctrace(rt.collector.stats))
+
+    print("\n== deadlock report ==")
+    print(rt.reports.summary_text())
+
+    (report,) = list(rt.reports)
+    print("\n== event trace of the leaked goroutine ==")
+    for event in tracer.for_goroutine(report.goid):
+        print(event.format())
+    assert report.label == "orphaned-task"

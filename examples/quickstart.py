@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: detect and reclaim a leaked goroutine with GOLF.
+
+A worker sends its result over an unbuffered channel, but the caller
+takes a timeout path and never receives.  In standard Go the worker (and
+everything its stack pins) leaks forever; with GOLF the next GC cycles
+report the partial deadlock and reclaim the goroutine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GolfConfig, Runtime
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Alloc,
+    Go,
+    MakeChan,
+    Recv,
+    RecvCase,
+    Select,
+    Send,
+    Sleep,
+)
+from repro.runtime.objects import Blob
+
+
+def fetch_profile(result_ch):
+    """The worker: an expensive lookup whose answer nobody awaits."""
+    profile = yield Alloc(Blob(1_000_000))  # ~1 MB response payload
+    yield Sleep(200 * MICROSECOND)          # the slow backend call
+    yield Send(result_ch, profile)          # blocks forever: leaked
+
+
+def handle_request():
+    """The caller: gives up after 50us and returns without receiving."""
+    result = yield MakeChan(0)
+    yield Go(fetch_profile, result, name="fetch-profile")
+
+    timeout = yield MakeChan(1)
+
+    def timer():
+        yield Sleep(50 * MICROSECOND)
+        yield Send(timeout, None)
+
+    yield Go(timer)
+    index, value, _ = yield Select([RecvCase(result), RecvCase(timeout)])
+    if index == 0:
+        print("  request served:", value)
+    else:
+        print("  request timed out; worker abandoned")
+
+
+def main():
+    yield Go(handle_request, name="handler")
+    yield Sleep(400 * MICROSECOND)  # let the race play out
+
+
+if __name__ == "__main__":
+    rt = Runtime(procs=4, seed=1, config=GolfConfig())
+    rt.spawn_main(main)
+    rt.run()
+
+    print("before GC:")
+    stats = rt.memstats()
+    print(f"  goroutines={stats.num_goroutine} "
+          f"heap={stats.heap_alloc / 1e3:.0f}KB")
+
+    print("GC cycle 1 (detection):")
+    rt.gc()
+    for report in rt.reports:
+        print("  " + report.format().replace("\n", "\n  "))
+
+    print("GC cycle 2 (recovery):")
+    cycle = rt.gc()
+    print(f"  reclaimed {cycle.goroutines_reclaimed} goroutine(s), "
+          f"swept {cycle.swept_bytes / 1e3:.0f}KB")
+
+    stats = rt.memstats()
+    print("after GOLF:")
+    print(f"  goroutines={stats.num_goroutine} "
+          f"heap={stats.heap_alloc / 1e3:.0f}KB")
+    assert rt.reports.total() == 1

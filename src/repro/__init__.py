@@ -1,0 +1,46 @@
+"""repro — a reproduction of GOLF (ASPLOS 2025).
+
+GOLF ("Goroutine Leak Fixer") extends the Go garbage collector to detect
+and recover *partial deadlocks* — goroutines blocked forever on channel or
+``sync`` operations — by observing that memory reachability soundly
+over-approximates the liveness of concurrency operations.
+
+This package rebuilds the whole stack in Python:
+
+- :mod:`repro.runtime` — a deterministic Go-like runtime: goroutines,
+  channels, ``select``, the ``sync`` package, virtual time and
+  GOMAXPROCS-style virtual processors;
+- :mod:`repro.gc` — a tricolor mark-and-sweep collector over an explicit
+  heap, with Go-flavored pacing and MemStats;
+- :mod:`repro.core` — the GOLF extension: the reachable-liveness fixpoint,
+  address masking, deadlock reports, and two-cycle recovery;
+- :mod:`repro.baselines` — analogs of the comparators used in the paper's
+  evaluation (goleak, LeakProf);
+- :mod:`repro.microbench`, :mod:`repro.corpus`, :mod:`repro.service`,
+  :mod:`repro.experiments` — the workloads and harnesses that regenerate
+  every table and figure of the evaluation.
+
+Entry point: :class:`repro.Runtime`.
+"""
+
+from repro.core.config import GolfConfig
+from repro.core.reports import DeadlockReport, ReportLog
+from repro.errors import (
+    GlobalDeadlockError,
+    GoPanic,
+    ReproError,
+)
+from repro.runtime.api import Runtime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Runtime",
+    "GolfConfig",
+    "DeadlockReport",
+    "ReportLog",
+    "ReproError",
+    "GoPanic",
+    "GlobalDeadlockError",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Offline analysis of leak telemetry.
+
+The paper's motivation (Figure 1) is operational: leaked goroutines
+accumulate until redeploys or out-of-memory kills hide them.  This
+package turns the series the simulators emit into the numbers an SRE
+needs: leak rates per deployment window and time-to-threshold forecasts.
+"""
+
+from repro.analysis.forecast import (
+    DeployWindow,
+    LeakForecast,
+    forecast_series,
+    split_deploy_windows,
+)
+
+__all__ = [
+    "DeployWindow",
+    "LeakForecast",
+    "forecast_series",
+    "split_deploy_windows",
+]

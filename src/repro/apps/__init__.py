@@ -1,0 +1,18 @@
+"""Demo applications built entirely on the public runtime API.
+
+These are integration-scale programs (not experiment drivers): realistic
+concurrent systems whose health — and whose deliberately injectable
+leaks — exercise the whole stack the way a downstream adopter would.
+"""
+
+from repro.apps.jobqueue import JobQueueConfig, JobQueueResult, run_job_queue
+from repro.apps.kvstore import KVConfig, KVStore, run_kv_workload
+
+__all__ = [
+    "KVStore",
+    "KVConfig",
+    "run_kv_workload",
+    "JobQueueConfig",
+    "JobQueueResult",
+    "run_job_queue",
+]

@@ -1,0 +1,17 @@
+"""The paper's artifact workflow (appendix A): the GOLF testing harness.
+
+Reproduces the artifact's ``./tester`` tool: runs annotated
+microbenchmarks under the GOLF runtime across GOMAXPROCS configurations,
+validates the ``deadlocks:`` annotations, and emits the ``results``
+coverage report and ``results-perf.csv`` performance comparison the
+appendix describes.
+"""
+
+from repro.artifact.tester import (
+    Annotation,
+    TesterConfig,
+    TesterReport,
+    run_tester,
+)
+
+__all__ = ["Annotation", "TesterConfig", "TesterReport", "run_tester"]

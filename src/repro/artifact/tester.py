@@ -1,0 +1,287 @@
+"""The artifact testing harness (paper appendix A.4-A.6).
+
+The original artifact annotates each potentially deadlocking ``go``
+instruction with ``// deadlocks: e`` (an exact count, or ``x > 0`` for
+"at least one"), runs every benchmark under the GOLF runtime at several
+``GOMAXPROCS`` settings, and writes:
+
+- ``results`` — the coverage report: one row per annotated instruction
+  with detections per core count, ``Unexpected DL`` markers for
+  unannotated detections, ``[runtime failure]`` markers for panics, a
+  collapsed row for always-detected instructions, and the aggregate
+  percentage (appendix A.5.1);
+- ``results-perf.csv`` — per-benchmark marking-phase metrics with the
+  baseline collector (``OFF``) and GOLF (``ON``) (appendix A.5.2).
+
+This module reproduces that workflow over the corpus in
+:mod:`repro.microbench`; annotations are derived from each benchmark's
+declared leaky sites (``x > 0`` by default, exact counts when given).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import GolfConfig
+from repro.microbench.harness import run_microbenchmark
+from repro.microbench.registry import Microbenchmark, all_benchmarks
+
+
+class Annotation:
+    """One ``// deadlocks:`` annotation on a ``go`` instruction."""
+
+    __slots__ = ("label", "exact")
+
+    def __init__(self, label: str, exact: Optional[int] = None):
+        self.label = label
+        #: ``None`` means the artifact's ``x > 0`` form.
+        self.exact = exact
+
+    def satisfied_by(self, count: int) -> bool:
+        if self.exact is None:
+            return count > 0
+        return count == self.exact
+
+    def expectation(self) -> str:
+        return "x > 0" if self.exact is None else str(self.exact)
+
+    def __repr__(self) -> str:
+        return f"<deadlocks: {self.expectation()} @ {self.label}>"
+
+
+class TesterConfig:
+    """Harness inputs, mirroring the artifact's CLI flags.
+
+    Args:
+        match: only run benchmarks whose name matches this regex
+            (the artifact's ``-match``).
+        repeats: runs per (benchmark, GOMAXPROCS) pair (``-repeats``).
+        procs_list: GOMAXPROCS configurations.
+        perf: also measure baseline-vs-GOLF marking (``-perf``).
+        base_seed: seed base; runs use ``base_seed + i``.
+    """
+
+    __test__ = False  # named after the artifact's tool, not a pytest class
+
+    def __init__(self, match: str = "", repeats: int = 10,
+                 procs_list: Sequence[int] = (1, 2, 4, 10),
+                 perf: bool = False, base_seed: int = 0):
+        if repeats < 1:
+            raise ValueError("repeats must be positive")
+        self.match = match
+        self.repeats = repeats
+        self.procs_list = tuple(procs_list)
+        self.perf = perf
+        self.base_seed = base_seed
+
+    def selected(self, benches: List[Microbenchmark]) -> List[Microbenchmark]:
+        if not self.match:
+            return benches
+        pattern = re.compile(self.match)
+        return [b for b in benches if pattern.search(b.name)]
+
+
+class SiteRow:
+    """Coverage tallies for one annotated ``go`` instruction."""
+
+    __slots__ = ("annotation", "per_procs", "runs")
+
+    def __init__(self, annotation: Annotation, procs_list, runs: int):
+        self.annotation = annotation
+        self.per_procs: Dict[int, int] = {p: 0 for p in procs_list}
+        self.runs = runs
+
+    @property
+    def total_rate(self) -> float:
+        total = sum(self.per_procs.values())
+        return total / (self.runs * len(self.per_procs))
+
+    @property
+    def always_detected(self) -> bool:
+        return all(v == self.runs for v in self.per_procs.values())
+
+
+class PerfRow:
+    """Marking metrics for one benchmark: baseline OFF vs GOLF ON."""
+
+    __slots__ = ("benchmark", "mark_clock_off_us", "mark_clock_on_us",
+                 "num_gc_off", "num_gc_on")
+
+    def __init__(self, benchmark: str, mark_clock_off_us: float,
+                 mark_clock_on_us: float, num_gc_off: float,
+                 num_gc_on: float):
+        self.benchmark = benchmark
+        self.mark_clock_off_us = mark_clock_off_us
+        self.mark_clock_on_us = mark_clock_on_us
+        self.num_gc_off = num_gc_off
+        self.num_gc_on = num_gc_on
+
+
+class TesterReport:
+    """The harness outputs: coverage rows, anomalies, perf table."""
+
+    __test__ = False  # named after the artifact's tool, not a pytest class
+
+    def __init__(self, config: TesterConfig):
+        self.config = config
+        self.rows: Dict[str, SiteRow] = {}
+        #: (benchmark, label) pairs detected without an annotation.
+        self.unexpected: List[str] = []
+        #: per-benchmark runtime failures (panics).
+        self.failures: Dict[str, int] = {}
+        self.perf_rows: List[PerfRow] = []
+        self.benchmarks_run = 0
+
+    # -- coverage ----------------------------------------------------------
+
+    def aggregated(self, procs: Optional[int] = None) -> float:
+        if not self.rows:
+            return 0.0
+        if procs is None:
+            total = sum(sum(r.per_procs.values()) for r in self.rows.values())
+            denom = (self.config.repeats * len(self.config.procs_list)
+                     * len(self.rows))
+        else:
+            total = sum(r.per_procs[procs] for r in self.rows.values())
+            denom = self.config.repeats * len(self.rows)
+        return total / denom
+
+    def validate(self) -> List[str]:
+        """Annotated sites never detected in any run/configuration —
+        either insufficient repeats for a very flaky benchmark (the
+        etcd/7443 family needs ~100 runs at ten cores) or a regression."""
+        return [
+            label for label, row in self.rows.items()
+            if not any(row.per_procs.values())
+        ]
+
+    def format_results(self) -> str:
+        """The artifact's ``results`` report (appendix A.5.1)."""
+        header = (
+            f"{'Benchmark':34s} "
+            + " ".join(f"{p}P".rjust(5) for p in self.config.procs_list)
+            + f" {'Total':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        collapsed = 0
+        for label in sorted(self.rows):
+            row = self.rows[label]
+            if row.always_detected:
+                collapsed += 1
+                continue
+            cells = " ".join(
+                f"{row.per_procs[p]:>5d}" for p in self.config.procs_list
+            )
+            lines.append(f"{label:34s} {cells} {row.total_rate:>7.2%}")
+        if collapsed:
+            lines.append(
+                f"Remaining {collapsed} go instructions "
+                f"({self.benchmarks_run} benchmarks){'100.00%':>20s}"
+            )
+        agg = " ".join(
+            f"{self.aggregated(p):>5.1%}" for p in self.config.procs_list
+        )
+        lines.append(f"{'Aggregated':34s} {agg} {self.aggregated():>7.2%}")
+        for item in self.unexpected:
+            lines.append(f"Unexpected DL: {item}")
+        for bench, count in sorted(self.failures.items()):
+            lines.append(f"[runtime failure] {bench} x{count}")
+        return "\n".join(lines)
+
+    # -- perf ----------------------------------------------------------------
+
+    def format_perf_csv(self) -> str:
+        """The artifact's ``results-perf.csv`` (appendix A.5.2)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([
+            "Benchmark", "Mark clock OFF (us)", "Mark clock ON (us)",
+            "GC cycles OFF", "GC cycles ON",
+        ])
+        for row in self.perf_rows:
+            writer.writerow([
+                row.benchmark,
+                f"{row.mark_clock_off_us:.2f}",
+                f"{row.mark_clock_on_us:.2f}",
+                f"{row.num_gc_off:.1f}",
+                f"{row.num_gc_on:.1f}",
+            ])
+        return buffer.getvalue()
+
+    def write(self, results_path: str,
+              perf_path: Optional[str] = None) -> None:
+        with open(results_path, "w") as fh:
+            fh.write(self.format_results() + "\n")
+        if perf_path is not None and self.perf_rows:
+            with open(perf_path, "w") as fh:
+                fh.write(self.format_perf_csv())
+
+
+def _annotations_for(bench: Microbenchmark) -> List[Annotation]:
+    return [Annotation(label) for label in bench.sites]
+
+
+def run_tester(config: Optional[TesterConfig] = None,
+               benchmarks: Optional[List[Microbenchmark]] = None,
+               ) -> TesterReport:
+    """Execute the artifact workflow and return the report."""
+    config = config or TesterConfig()
+    benches = config.selected(
+        benchmarks if benchmarks is not None else all_benchmarks())
+    report = TesterReport(config)
+    report.benchmarks_run = len(benches)
+
+    for bench in benches:
+        for annotation in _annotations_for(bench):
+            report.rows[annotation.label] = SiteRow(
+                annotation, config.procs_list, config.repeats)
+
+    for bench in benches:
+        expected = set(bench.sites)
+        for procs in config.procs_list:
+            for i in range(config.repeats):
+                seed = config.base_seed + i * 6151 + procs * 389
+                outcome = run_microbenchmark(bench, procs=procs, seed=seed)
+                if outcome.panic is not None:
+                    report.failures[bench.name] = (
+                        report.failures.get(bench.name, 0) + 1)
+                    continue
+                for label in outcome.detected:
+                    if label in expected:
+                        report.rows[label].per_procs[procs] += 1
+                    else:
+                        report.unexpected.append(
+                            f"{bench.name}: {label or '<unlabeled>'}")
+
+        if config.perf:
+            report.perf_rows.append(_measure_perf(bench, config))
+    return report
+
+
+def _measure_perf(bench: Microbenchmark, config: TesterConfig) -> PerfRow:
+    """Baseline-vs-GOLF marking comparison for one benchmark (1 core,
+    averaged over the configured repeats), as appendix A.5.2 reports."""
+    clocks = {True: [], False: []}
+    cycles = {True: [], False: []}
+    for golf in (False, True):
+        gc_config = GolfConfig() if golf else GolfConfig.baseline()
+        for i in range(config.repeats):
+            outcome = run_microbenchmark(
+                bench, procs=1, seed=config.base_seed + i * 31,
+                config=gc_config)
+            clocks[golf].append(outcome.mark_clock_ns)
+            cycles[golf].append(outcome.num_gc)
+
+    def mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    return PerfRow(
+        benchmark=bench.name,
+        mark_clock_off_us=mean(clocks[False]) / 1000.0,
+        mark_clock_on_us=mean(clocks[True]) / 1000.0,
+        num_gc_off=mean(cycles[False]),
+        num_gc_on=mean(cycles[True]),
+    )

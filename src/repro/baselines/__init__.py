@@ -1,0 +1,17 @@
+"""Comparator tools from the paper's evaluation: goleak and LeakProf."""
+
+from repro.baselines.goleak import (
+    GoleakRecord,
+    LeakAssertionError,
+    find_leaks,
+    verify_none,
+)
+from repro.baselines.leakprof import LeakProf
+
+__all__ = [
+    "GoleakRecord",
+    "LeakAssertionError",
+    "find_leaks",
+    "verify_none",
+    "LeakProf",
+]

@@ -1,0 +1,105 @@
+"""A goleak analog: end-of-test lingering-goroutine detection.
+
+`goleak <https://github.com/uber-go/goleak>`_ inspects the runtime state
+when a test finishes and reports goroutines that have not terminated.
+Every goroutine involved in a partial deadlock is unterminated at test
+end, but not every unterminated goroutine is deadlocked: goroutines
+blocked on IO/timers and *runaway live* goroutines (the paper's Listing
+5 heartbeat) are flagged too.  The paper's RQ1(b) comparison excludes
+those categories for fairness; :func:`find_leaks` tags each record with a
+category so harnesses can apply the same filter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.api import Runtime
+from repro.runtime.goroutine import GStatus, Goroutine
+
+#: Record categories.
+CATEGORY_CONCURRENCY = "blocked-concurrency"  # channel / sync blocking
+CATEGORY_EXTERNAL = "blocked-external"        # sleep, IO, syscalls
+CATEGORY_RUNNING = "running"                  # runaway live goroutines
+
+
+class GoleakRecord:
+    """One lingering goroutine found at test end."""
+
+    __slots__ = ("goid", "name", "label", "go_site", "block_site",
+                 "wait_reason", "category")
+
+    def __init__(self, g: Goroutine, category: str):
+        self.goid = g.goid
+        self.name = g.name
+        self.label = g.deadlock_label
+        self.go_site = g.go_site
+        self.block_site = g.block_site()
+        self.wait_reason = g.wait_reason.value if g.wait_reason else ""
+        self.category = category
+
+    @property
+    def dedup_key(self):
+        return (self.go_site, self.block_site)
+
+    def __repr__(self) -> str:
+        return (
+            f"<goleak {self.category} goid={self.goid} "
+            f"label={self.label!r} at {self.block_site}>"
+        )
+
+
+def find_leaks(rt: Runtime, include_external: bool = False,
+               include_running: bool = False) -> List[GoleakRecord]:
+    """Report unterminated user goroutines, as goleak does at test end.
+
+    By default only concurrency-blocked goroutines are returned — the
+    category the paper compares GOLF against.  Set ``include_external`` /
+    ``include_running`` to see goleak's full (noisier) output.
+
+    Goroutines GOLF has already reported (``DEADLOCKED`` /
+    ``PENDING_RECLAIM`` states) are still lingering from goleak's point
+    of view and are included in the concurrency category.
+    """
+    records: List[GoleakRecord] = []
+    for g in rt.sched.allgs:
+        if g.is_system or g.status == GStatus.DEAD:
+            continue
+        if g.status in (GStatus.DEADLOCKED, GStatus.PENDING_RECLAIM):
+            records.append(GoleakRecord(g, CATEGORY_CONCURRENCY))
+        elif g.status == GStatus.WAITING:
+            if g.is_blocked_detectably:
+                records.append(GoleakRecord(g, CATEGORY_CONCURRENCY))
+            elif include_external:
+                records.append(GoleakRecord(g, CATEGORY_EXTERNAL))
+        elif include_running and g.status in (GStatus.RUNNABLE,
+                                              GStatus.RUNNING):
+            records.append(GoleakRecord(g, CATEGORY_RUNNING))
+    return records
+
+
+class LeakAssertionError(AssertionError):
+    """Raised by :func:`verify_none` when goroutines linger."""
+
+
+def verify_none(rt: Runtime, include_external: bool = False,
+                include_running: bool = False) -> None:
+    """``goleak.VerifyNone`` for this runtime: raise if anything lingers.
+
+    The test-suite idiom — call at the end of a test to fail it when
+    the code under test leaked goroutines::
+
+        rt.run()
+        verify_none(rt)
+    """
+    records = find_leaks(rt, include_external=include_external,
+                         include_running=include_running)
+    if records:
+        lines = [f"found {len(records)} unexpected goroutine(s):"]
+        for record in records:
+            lines.append(
+                f"  goroutine {record.goid} [{record.category}"
+                f"{', ' + record.wait_reason if record.wait_reason else ''}]"
+                f" blocked at {record.block_site}"
+            )
+        raise LeakAssertionError("\n".join(lines))

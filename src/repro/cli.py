@@ -1,0 +1,202 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro table1 --runs 30
+    python -m repro table2 --duration 15
+    python -m repro figure1 --days 21
+    python -m repro all --out artifacts/
+
+Each subcommand runs the corresponding experiment driver and prints the
+paper-style table or figure; ``--out DIR`` additionally archives it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.corpus.generator import CorpusConfig
+from repro.experiments import (
+    format_figure1,
+    format_figure3,
+    format_figure4,
+    format_rq1b,
+    format_rq1c,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_figure1,
+    run_figure3,
+    run_figure4,
+    run_rq1b,
+    run_rq1c,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.ablations import (
+    CadenceAblation,
+    FixpointAblation,
+    RecoveryAblation,
+)
+from repro.service.controlled import ControlledConfig
+from repro.service.longrun import LongRunConfig
+from repro.service.production import ProductionConfig
+from repro.artifact import TesterConfig, run_tester
+
+
+def _cmd_table1(args) -> str:
+    return format_table1(run_table1(runs=args.runs))
+
+
+def _cmd_table2(args) -> str:
+    config = ControlledConfig(duration_s=args.duration, warmup_s=3)
+    return format_table2(run_table2(config=config))
+
+
+def _cmd_table3(args) -> str:
+    return format_table3(run_table3(ProductionConfig(hours=args.hours)))
+
+
+def _cmd_figure1(args) -> str:
+    config = LongRunConfig(days=args.days)
+    return format_figure1(run_figure1(config))
+
+
+def _cmd_figure3(args) -> str:
+    config = CorpusConfig(n_packages=args.packages)
+    return format_figure3(run_figure3(config))
+
+
+def _cmd_figure4(args) -> str:
+    return format_figure4(run_figure4(repeats=args.repeats))
+
+
+def _cmd_rq1b(args) -> str:
+    config = CorpusConfig(n_packages=args.packages)
+    return format_rq1b(run_rq1b(config))
+
+
+def _cmd_rq1c(args) -> str:
+    config = ProductionConfig(hours=args.hours, leak_every=3000)
+    return format_rq1c(run_rq1c(config))
+
+
+def _cmd_tester(args) -> str:
+    config = TesterConfig(match=args.match, repeats=args.repeats,
+                          perf=args.perf)
+    report = run_tester(config)
+    text = report.format_results()
+    if args.perf:
+        text += "\n\n" + report.format_perf_csv()
+    return text
+
+
+def _cmd_ablations(args) -> str:
+    sections = [
+        ("fixpoint strategy", FixpointAblation().run().format()),
+        ("detection cadence", CadenceAblation().run().format()),
+        ("recovery", RecoveryAblation().run().format()),
+    ]
+    return "\n\n".join(f"-- {title}\n{body}" for title, body in sections)
+
+
+_COMMANDS: Dict[str, Callable] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "figure1": _cmd_figure1,
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "rq1b": _cmd_rq1b,
+    "rq1c": _cmd_rq1c,
+    "ablations": _cmd_ablations,
+    "tester": _cmd_tester,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the GOLF paper's tables and figures.",
+    )
+    parser.add_argument("--out", default=None,
+                        help="directory to archive artifacts into")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="microbenchmark detection rates")
+    p.add_argument("--runs", type=int, default=30)
+
+    p = sub.add_parser("table2", help="controlled service metrics")
+    p.add_argument("--duration", type=int, default=15,
+                   help="virtual seconds of load per cell")
+
+    p = sub.add_parser("table3", help="production overhead")
+    p.add_argument("--hours", type=float, default=2.0)
+
+    p = sub.add_parser("figure1", help="blocked goroutines over time")
+    p.add_argument("--days", type=int, default=21)
+
+    p = sub.add_parser("figure3", help="GOLF/goleak ratio curve")
+    p.add_argument("--packages", type=int, default=300)
+
+    p = sub.add_parser("figure4", help="marking-phase slowdown")
+    p.add_argument("--repeats", type=int, default=5)
+
+    p = sub.add_parser("rq1b", help="test-suite totals vs goleak")
+    p.add_argument("--packages", type=int, default=300)
+
+    p = sub.add_parser("rq1c", help="24h real-service deployment")
+    p.add_argument("--hours", type=float, default=4.0)
+
+    sub.add_parser("ablations", help="design-choice ablations")
+
+    p = sub.add_parser(
+        "tester", help="the artifact-appendix testing harness")
+    p.add_argument("--match", default="", help="benchmark name regex")
+    p.add_argument("--repeats", type=int, default=10)
+    p.add_argument("--perf", action="store_true",
+                   help="also emit the results-perf.csv comparison")
+
+    p = sub.add_parser("all", help="regenerate everything")
+    p.add_argument("--runs", type=int, default=30)
+    p.add_argument("--duration", type=int, default=15)
+    p.add_argument("--hours", type=float, default=2.0)
+    p.add_argument("--days", type=int, default=21)
+    p.add_argument("--packages", type=int, default=300)
+    p.add_argument("--repeats", type=int, default=5)
+    return parser
+
+
+def _archive(out_dir: Optional[str], name: str, text: str) -> None:
+    if out_dir is None:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        commands = [c for c in _COMMANDS if c != "tester"]
+    else:
+        commands = [args.command]
+    for name in commands:
+        started = time.time()
+        text = _COMMANDS[name](args)
+        elapsed = time.time() - started
+        print(f"===== {name} ({elapsed:.1f}s) =====")
+        print(text)
+        print()
+        _archive(args.out, name, text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

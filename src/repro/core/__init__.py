@@ -1,0 +1,13 @@
+"""The GOLF core: reachable-liveness detection, masking, recovery."""
+
+from repro.core.config import GolfConfig
+from repro.core.detector import DetectionResult, detect
+from repro.core.reports import DeadlockReport, ReportLog
+
+__all__ = [
+    "GolfConfig",
+    "DetectionResult",
+    "detect",
+    "DeadlockReport",
+    "ReportLog",
+]

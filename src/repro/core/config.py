@@ -1,0 +1,101 @@
+"""Configuration for the collector and the GOLF extension."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class GolfConfig:
+    """Tunables for the collector and the GOLF detector.
+
+    Args:
+        golf: enable partial deadlock detection (the GOLF extension);
+            False gives the baseline collector.
+        reclaim: when True, reported deadlocked goroutines are forcefully
+            shut down one cycle after detection (paper's recovery mode).
+            When False GOLF only monitors, as in the RQ1(b) experiments,
+            keeping reported goroutines alive but reporting them once.
+        detect_every: run deadlock detection only every Nth GC cycle
+            (paper section 6.2 suggests this to amortize overhead; 1 =
+            every cycle, as evaluated).
+        on_the_fly_roots: use the on-the-fly root-expansion optimization
+            sketched in paper section 5.3 instead of restart-based mark
+            iterations.  Same results, fewer iterations; ablation knob.
+        gogc: heap-growth trigger percentage (Go's GOGC); a collection is
+            triggered when live heap grows past ``(1 + gogc/100)`` times
+            the live heap after the previous collection.
+        min_heap_bytes: pacing floor, so tiny programs still collect at a
+            sane cadence.
+        stw_base_ns: simulated stop-the-world cost per pause (two pauses
+            per cycle, as in Go: mark setup + mark termination).
+        ns_per_mark_edge: simulated marking cost per traversed reference.
+        ns_per_mark_iteration: fixed marking-phase cost per mark
+            iteration (queue setup/drain); GOLF's restart-based fixpoint
+            pays this once per root-set expansion.
+        ns_per_liveness_check: simulated cost of checking one
+            (goroutine, blocking object) pair during root expansion.
+        ns_per_reclaim: simulated STW cost of shutting down one deadlocked
+            goroutine.
+        on_report: optional callback invoked with each new
+            :class:`~repro.core.reports.DeadlockReport`.
+        dead_global_hints: names of global variables a static analysis
+            has proven are never used by any future execution.  The
+            detector excludes them from the liveness roots, recovering
+            deadlocks behind globally reachable channels (the paper's
+            Listing 4 false negative; section 8 future work).  Hints are
+            *trusted*: a wrong hint can violate soundness (the runtime
+            will raise ``SchedulerError`` if that ever manifests).
+            Collection is unaffected — hinted globals stay in memory.
+    """
+
+    def __init__(
+        self,
+        golf: bool = True,
+        reclaim: bool = True,
+        detect_every: int = 1,
+        on_the_fly_roots: bool = False,
+        gogc: int = 100,
+        min_heap_bytes: int = 256 * 1024,
+        stw_base_ns: int = 20_000,
+        ns_per_mark_edge: int = 25,
+        ns_per_mark_iteration: int = 1_500,
+        ns_per_liveness_check: int = 120,
+        ns_per_reclaim: int = 4_000,
+        on_report: Optional[Callable[..., None]] = None,
+        dead_global_hints: Optional[set] = None,
+    ):
+        if detect_every < 1:
+            raise ValueError("detect_every must be >= 1")
+        if gogc <= 0:
+            raise ValueError("gogc must be positive")
+        self.golf = golf
+        self.reclaim = reclaim
+        self.detect_every = detect_every
+        self.on_the_fly_roots = on_the_fly_roots
+        self.gogc = gogc
+        self.min_heap_bytes = min_heap_bytes
+        self.stw_base_ns = stw_base_ns
+        self.ns_per_mark_edge = ns_per_mark_edge
+        self.ns_per_mark_iteration = ns_per_mark_iteration
+        self.ns_per_liveness_check = ns_per_liveness_check
+        self.ns_per_reclaim = ns_per_reclaim
+        self.on_report = on_report
+        self.dead_global_hints = frozenset(dead_global_hints or ())
+
+    @classmethod
+    def baseline(cls, **overrides) -> "GolfConfig":
+        """The unmodified Go collector."""
+        overrides.setdefault("golf", False)
+        overrides.setdefault("reclaim", False)
+        return cls(**overrides)
+
+    @classmethod
+    def monitor_only(cls, **overrides) -> "GolfConfig":
+        """GOLF detection without recovery (paper RQ1(b) configuration)."""
+        overrides.setdefault("golf", True)
+        overrides.setdefault("reclaim", False)
+        return cls(**overrides)
+
+    @property
+    def mode(self) -> str:
+        return "golf" if self.golf else "baseline"

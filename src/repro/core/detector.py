@@ -1,0 +1,208 @@
+"""Reachable liveness: the GOLF deadlock detection fixpoint (paper §4).
+
+A goroutine is *reachably live*, ``LIVE+(g)``, iff it is runnable (in the
+broad sense: ``B(g) = ∅``, which includes waits the detector cannot
+reason about), or some object in ``B(g)`` is transitively referenced by
+another reachably live goroutine.  The least solution is computed with
+the garbage collector's marking machinery:
+
+1. seed the root set with runnable goroutines (and global data),
+2. mark,
+3. expand the root set with blocked goroutines whose blocking objects
+   became marked,
+4. repeat until a fixpoint; unmarked blocked goroutines are deadlocked.
+
+Two implementations are provided, matching the paper's section 5.3:
+
+- the *restart* strategy (the paper's implementation): full mark
+  iterations alternate with root-expansion scans over all still-masked
+  candidates (``O(N² + N·S)`` checks in the worst case);
+- the *on-the-fly* strategy (the paper's sketched optimization): a
+  reverse index from blocking objects to waiters lets newly marked
+  concurrency objects enqueue their blocked goroutines immediately,
+  completing in a single mark pass.
+
+Both produce the same deadlocked set (asserted by the ablation tests);
+they differ only in iteration counts and bookkeeping cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import masking
+from repro.gc.heap import Heap
+from repro.gc.marking import mark_from
+from repro.runtime.goroutine import EPSILON, Goroutine, GStatus
+from repro.runtime.objects import HeapObject
+
+
+class DetectionResult:
+    """Outcome of one reachable-liveness computation."""
+
+    __slots__ = ("live", "deadlocked", "mark_iterations",
+                 "mark_work_units", "liveness_checks", "objects_marked")
+
+    def __init__(self) -> None:
+        self.live: List[Goroutine] = []
+        self.deadlocked: List[Goroutine] = []
+        self.mark_iterations = 0
+        self.mark_work_units = 0
+        self.liveness_checks = 0
+        self.objects_marked = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<detection live={len(self.live)} "
+            f"deadlocked={len(self.deadlocked)} "
+            f"iterations={self.mark_iterations} work={self.mark_work_units}>"
+        )
+
+
+def blocking_object_reachable(heap: Heap, obj: HeapObject) -> bool:
+    """Is a blocking concurrency object reachable, for root expansion?
+
+    The ``ε`` sentinel (nil channels, zero-case selects) is unreachable by
+    definition.  Objects the collector cannot locate on the heap are
+    conservatively deemed reachable (paper §5.3: "If GOLF cannot determine
+    whether o is marked, it conservatively assumes [it is] reachable,
+    e.g., as a global object").
+    """
+    if obj is EPSILON:
+        return False
+    if obj.addr == 0 or not heap.contains(obj):
+        return True
+    return heap.is_marked(obj)
+
+
+def initial_roots(
+    heap: Heap,
+    goroutines: Sequence[Goroutine],
+    dead_global_hints: frozenset = frozenset(),
+) -> List[HeapObject]:
+    """The GOLF initial root set ``R'_0``: global data plus every
+    goroutine with ``B(g) = ∅`` (plus kept-deadlocked goroutines, which
+    are treated as live forever — paper §5.5).
+
+    ``dead_global_hints`` (the section 8 future-work extension) removes
+    specific global entries from the liveness roots, letting the
+    fixpoint see past globally reachable channels."""
+    if dead_global_hints:
+        roots = list(heap.globals.referents_excluding(dead_global_hints))
+    else:
+        roots = [heap.globals]
+    for g in goroutines:
+        if g.status == GStatus.DEAD:
+            continue
+        if g.runnable_for_liveness or g.status in (
+                GStatus.DEADLOCKED, GStatus.PENDING_RECLAIM):
+            roots.append(g)
+    return roots
+
+
+def detect(heap: Heap, goroutines: Sequence[Goroutine],
+           on_the_fly: bool = False,
+           dead_global_hints: frozenset = frozenset()) -> DetectionResult:
+    """Compute reachable liveness over ``goroutines``.
+
+    Expects :meth:`Heap.begin_cycle` to have been called (fresh mark
+    epoch).  On return, every reachably live object is marked, candidates
+    found deadlocked remain masked (callers decide how to report/keep
+    them), and live goroutines are unmasked.
+
+    ``dead_global_hints`` removes the named globals from the liveness
+    roots; since hinted objects are ordinary heap allocations, the
+    reachability check then treats them like any other unmarked object.
+    """
+    result = DetectionResult()
+    candidates = [
+        g for g in goroutines
+        if g.status == GStatus.WAITING and g.is_blocked_detectably
+    ]
+    masking.mask_blocked_goroutines(goroutines)
+    roots = initial_roots(heap, goroutines, dead_global_hints)
+
+    if on_the_fly:
+        _detect_on_the_fly(heap, candidates, roots, result)
+    else:
+        _detect_restart(heap, candidates, roots, result)
+
+    deadlocked_set = set(id(g) for g in result.deadlocked)
+    result.live = [
+        g for g in goroutines
+        if g.status != GStatus.DEAD and id(g) not in deadlocked_set
+    ]
+    return result
+
+
+def _detect_restart(heap: Heap, candidates: List[Goroutine],
+                    roots: List[HeapObject], result: DetectionResult) -> None:
+    """The paper's implementation: restart marking per root expansion."""
+    work, marked = mark_from(heap, roots, respect_masks=True)
+    result.mark_iterations = 1
+    result.mark_work_units = work
+    result.objects_marked = marked
+
+    pending = list(candidates)
+    while True:
+        newly_live = []
+        still_pending = []
+        for g in pending:
+            result.liveness_checks += len(g.blocked_on)
+            if any(blocking_object_reachable(heap, o) for o in g.blocked_on):
+                newly_live.append(g)
+            else:
+                still_pending.append(g)
+        if not newly_live:
+            break
+        for g in newly_live:
+            g.masked = False
+        work, marked = mark_from(heap, newly_live, respect_masks=True)
+        result.mark_iterations += 1
+        result.mark_work_units += work
+        result.objects_marked += marked
+        pending = still_pending
+    result.deadlocked = pending
+
+
+def _detect_on_the_fly(heap: Heap, candidates: List[Goroutine],
+                       roots: List[HeapObject],
+                       result: DetectionResult) -> None:
+    """Single-pass variant: newly marked concurrency objects immediately
+    enqueue the goroutines blocked on them."""
+    waiters: Dict[int, List[Goroutine]] = {}
+    immediately_live: List[Goroutine] = []
+    for g in candidates:
+        conservative = False
+        for obj in g.blocked_on:
+            if obj is EPSILON:
+                continue
+            if obj.addr == 0 or not heap.contains(obj):
+                conservative = True
+                continue
+            waiters.setdefault(obj.addr, []).append(g)
+        if conservative:
+            immediately_live.append(g)
+
+    def on_marked(obj: HeapObject) -> Optional[List[HeapObject]]:
+        blocked = waiters.get(obj.addr)
+        if not blocked:
+            return None
+        extra: List[HeapObject] = []
+        for g in blocked:
+            result.liveness_checks += 1
+            if g.masked:
+                g.masked = False
+                extra.append(g)
+        return extra
+
+    for g in immediately_live:
+        g.masked = False
+    work, marked = mark_from(
+        heap, roots + list(immediately_live), respect_masks=True,
+        on_marked=on_marked,
+    )
+    result.mark_iterations = 1
+    result.mark_work_units = work
+    result.objects_marked = marked
+    result.deadlocked = [g for g in candidates if g.masked]

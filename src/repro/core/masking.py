@@ -1,0 +1,61 @@
+"""Address obfuscation (paper, section 5.4).
+
+GOLF hides pointers to blocked goroutines held by *global runtime
+structures* — the all-goroutines array and the semaphore treap — from the
+marking phase by flipping the highest-order bit of the stored addresses.
+Marking ignores masked addresses; when the detector proves a goroutine
+reachably live, the pointer is unmasked and (re)scheduled for marking.
+
+In this reproduction the same mechanism appears in two forms:
+
+- :data:`MASK_BIT` arithmetic applied to semaphore-table keys, installed
+  into the scheduler as its ``mask_key`` policy when GOLF is active, so
+  the treap genuinely stores obfuscated addresses (tests assert this);
+- the ``masked`` flag on goroutine descriptors, which the marker checks
+  before tracing a descriptor reached through ordinary references — the
+  moral equivalent of ignoring a masked address.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.runtime.goroutine import GStatus, Goroutine
+
+#: The flipped high-order bit for a simulated 64-bit address space.
+MASK_BIT = 1 << 63
+
+
+def mask_addr(addr: int) -> int:
+    """Obfuscate an address (idempotent)."""
+    return addr | MASK_BIT
+
+
+def unmask_addr(addr: int) -> int:
+    """Recover the original address."""
+    return addr & ~MASK_BIT
+
+
+def is_masked(addr: int) -> bool:
+    return bool(addr & MASK_BIT)
+
+
+def mask_blocked_goroutines(goroutines: Iterable[Goroutine]) -> int:
+    """Mask every deadlock-candidate goroutine before a GOLF mark phase.
+
+    Returns the number of goroutines masked.  Only user goroutines parked
+    at detectable concurrency operations are masked; everything else is
+    part of the initial root set and must stay visible.
+    """
+    masked = 0
+    for g in goroutines:
+        if g.status == GStatus.WAITING and g.is_blocked_detectably:
+            g.masked = True
+            masked += 1
+    return masked
+
+
+def unmask_all(goroutines: Iterable[Goroutine]) -> None:
+    """Clear every mask after a cycle completes."""
+    for g in goroutines:
+        g.masked = False

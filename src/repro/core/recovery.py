@@ -1,0 +1,58 @@
+"""Recovery of deadlocked goroutines while preserving Go semantics (§5.5).
+
+Reclaiming a deadlocked goroutine naively could fire finalizers attached
+to objects that, in the unmodified runtime, would simply never be
+collected — an observable semantic difference (the paper's Listing 6).
+GOLF therefore splits detection and recovery across two GC cycles:
+
+- cycle *k*: the goroutine is reported, placed in a pending-to-reclaim
+  state and *scheduled for marking*; while marking the resources only it
+  can reach, the GC checks for finalizers.  If any exist the goroutine is
+  parked permanently in the ``DEADLOCKED`` state, which future cycles
+  treat as live, so its memory stays consistently reachable and the
+  deadlock is reported exactly once.
+- cycle *k+1*: pending goroutines without finalizers are forcefully shut
+  down (the scheduler purges sudogs and semaphore-table entries, and the
+  body generator is dropped unresumed so deferred code cannot run); their
+  now-unreferenced memory is swept in the normal way.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+from repro.gc.heap import Heap
+from repro.runtime.goroutine import Goroutine
+
+
+def scan_and_mark_subgraph(heap: Heap, g: Goroutine) -> Tuple[bool, int]:
+    """Mark everything reachable from a deadlocked goroutine, checking
+    for finalizers on objects not already marked live.
+
+    Objects that are already marked are shared with live goroutines and
+    will not be reclaimed, so their finalizers are irrelevant here; the
+    scan only inspects (and marks) the part of the subgraph that is
+    exclusively reachable through deadlocked goroutines.
+
+    Returns ``(found_finalizer, mark_work_units)``.
+    """
+    found = False
+    work = 0
+    gray: deque = deque()
+    if heap.mark(g):
+        gray.append(g)
+    while gray:
+        obj = gray.popleft()
+        for ref in obj.referents():
+            work += 1
+            if isinstance(ref, Goroutine) and ref is not g:
+                # Another goroutine reached through shared structures: it
+                # is handled by its own detection verdict, not this scan.
+                continue
+            if heap.mark(ref):
+                work += ref.scan_work
+                if ref.finalizer is not None:
+                    found = True
+                gray.append(ref)
+    return found, work

@@ -1,0 +1,148 @@
+"""Partial deadlock reports and deduplication.
+
+A report captures the information GOLF prints in production: the
+goroutine, where it was spawned (the ``go`` instruction site), where it is
+blocked, the wait reason, and its stack.  The RQ1(b) methodology
+deduplicates reports by the pair *(spawn site, blocking site)*, because
+the same defective code location may leak from many callers (paper,
+section 6.1); :class:`ReportLog` implements both the raw and deduplicated
+views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.runtime.goroutine import Goroutine
+
+
+class DeadlockReport:
+    """One detected partial deadlock."""
+
+    __slots__ = ("goid", "name", "label", "go_site", "block_site",
+                 "wait_reason", "stack", "gc_cycle", "detected_at_ns")
+
+    def __init__(self, goid: int, name: str, label: str, go_site: str,
+                 block_site: str, wait_reason: str, stack: List[str],
+                 gc_cycle: int, detected_at_ns: int):
+        self.goid = goid
+        self.name = name
+        self.label = label
+        self.go_site = go_site
+        self.block_site = block_site
+        self.wait_reason = wait_reason
+        self.stack = stack
+        self.gc_cycle = gc_cycle
+        self.detected_at_ns = detected_at_ns
+
+    @property
+    def dedup_key(self) -> Tuple[str, str]:
+        """(spawn site, blocking site): the paper's dedup criterion."""
+        return (self.go_site, self.block_site)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form, for shipping to logging pipelines
+        (how the RQ1(c) deployment collected reports)."""
+        return {
+            "goid": self.goid,
+            "name": self.name,
+            "label": self.label,
+            "go_site": self.go_site,
+            "block_site": self.block_site,
+            "wait_reason": self.wait_reason,
+            "stack": list(self.stack),
+            "gc_cycle": self.gc_cycle,
+            "detected_at_ns": self.detected_at_ns,
+        }
+
+    def format(self) -> str:
+        """Render in the style of GOLF's runtime message."""
+        lines = [
+            f"partial deadlock! goroutine {self.goid} [{self.wait_reason}]",
+            f"  spawned at: {self.go_site}",
+            f"  blocked at: {self.block_site}",
+        ]
+        lines.extend(f"  {frame}" for frame in self.stack)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<deadlock goid={self.goid} label={self.label!r} "
+            f"reason={self.wait_reason} at {self.block_site}>"
+        )
+
+
+class ReportLog:
+    """Collects deadlock reports across GC cycles."""
+
+    def __init__(self) -> None:
+        self.reports: List[DeadlockReport] = []
+
+    def add(self, g: Goroutine, gc_cycle: int, now_ns: int) -> DeadlockReport:
+        report = DeadlockReport(
+            goid=g.goid,
+            name=g.name,
+            label=g.deadlock_label,
+            go_site=g.go_site,
+            block_site=g.block_site(),
+            wait_reason=g.wait_reason.value if g.wait_reason else "unknown",
+            stack=g.stack_trace(),
+            gc_cycle=gc_cycle,
+            detected_at_ns=now_ns,
+        )
+        self.reports.append(report)
+        return report
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def total(self) -> int:
+        """Total number of individual partial deadlock reports."""
+        return len(self.reports)
+
+    def deduplicated(self) -> Dict[Tuple[str, str], List[DeadlockReport]]:
+        """Group reports by (spawn site, blocking site)."""
+        groups: Dict[Tuple[str, str], List[DeadlockReport]] = {}
+        for report in self.reports:
+            groups.setdefault(report.dedup_key, []).append(report)
+        return groups
+
+    def labels(self) -> Dict[str, int]:
+        """Count of reports per microbenchmark annotation label."""
+        counts: Dict[str, int] = {}
+        for report in self.reports:
+            if report.label:
+                counts[report.label] = counts.get(report.label, 0) + 1
+        return counts
+
+    def has_label(self, label: str) -> bool:
+        return any(r.label == label for r in self.reports)
+
+    def clear(self) -> None:
+        self.reports.clear()
+
+    def summary_text(self) -> str:
+        """A triage-ready rendering: deduplicated sites, most-hit first.
+
+        This is the view an engineer consuming GOLF's production logs
+        works from (the paper narrowed 252 reports to 3 locations this
+        way).
+        """
+        groups = sorted(
+            self.deduplicated().items(),
+            key=lambda item: -len(item[1]),
+        )
+        lines = [
+            f"{self.total()} partial deadlock report(s), "
+            f"{len(groups)} distinct source location(s):"
+        ]
+        for (go_site, block_site), reports in groups:
+            reasons = sorted({r.wait_reason for r in reports})
+            lines.append(
+                f"  {len(reports):4d}x  spawned {go_site}  "
+                f"blocked {block_site}  [{', '.join(reasons)}]"
+            )
+        return "\n".join(lines)

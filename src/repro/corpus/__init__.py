@@ -1,0 +1,25 @@
+"""Synthetic enterprise test-suite corpus (the paper's RQ1(b) substrate).
+
+The paper runs GOLF over 3 111 Go packages of Uber's monorepo and
+compares against goleak.  We cannot use that codebase, so this package
+generates a statistically similar corpus: packages of tests exercising a
+shared pool of *library leak sites* (the same defective library location
+leaking from many callers, which is what the paper's deduplication is
+for), with a controlled mix of GOLF-detectable and GOLF-invisible
+(global-channel / runaway-live) defects and GC cycles injected at
+realistic points.
+"""
+
+from repro.corpus.generator import CorpusConfig, LibrarySite, PackageSpec, generate_corpus
+from repro.corpus.runner import CorpusResult, PackageResult, run_corpus, run_package
+
+__all__ = [
+    "CorpusConfig",
+    "LibrarySite",
+    "PackageSpec",
+    "generate_corpus",
+    "CorpusResult",
+    "PackageResult",
+    "run_corpus",
+    "run_package",
+]

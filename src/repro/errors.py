@@ -1,0 +1,95 @@
+"""Exception hierarchy for the simulated Go runtime.
+
+The runtime distinguishes between errors raised *inside* simulated
+goroutines (panics, which unwind a single goroutine) and errors raised by
+the runtime itself (fatal errors, which terminate the whole simulated
+process, mirroring ``fatal error:`` conditions in Go).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GoPanic(ReproError):
+    """A Go ``panic`` inside a simulated goroutine.
+
+    Unless recovered (not modeled), a panic in any goroutine crashes the
+    whole simulated program, as in Go.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class SendOnClosedChannel(GoPanic):
+    """Panic raised when sending on a closed channel."""
+
+    def __init__(self) -> None:
+        super().__init__("send on closed channel")
+
+
+class CloseOfClosedChannel(GoPanic):
+    """Panic raised when closing an already-closed channel."""
+
+    def __init__(self) -> None:
+        super().__init__("close of closed channel")
+
+
+class CloseOfNilChannel(GoPanic):
+    """Panic raised when closing a nil channel."""
+
+    def __init__(self) -> None:
+        super().__init__("close of nil channel")
+
+
+class NegativeWaitGroupCounter(GoPanic):
+    """Panic raised when a ``sync.WaitGroup`` counter drops below zero."""
+
+    def __init__(self) -> None:
+        super().__init__("sync: negative WaitGroup counter")
+
+
+class UnlockOfUnlockedMutex(GoPanic):
+    """Panic raised when unlocking a mutex that is not locked."""
+
+    def __init__(self) -> None:
+        super().__init__("sync: unlock of unlocked mutex")
+
+
+class FatalRuntimeError(ReproError):
+    """A fatal error from the simulated runtime (kills the whole program)."""
+
+
+class GlobalDeadlockError(FatalRuntimeError):
+    """All goroutines are blocked: Go's global deadlock fatal error.
+
+    Carries a per-goroutine stack dump (``dump``), like the listing the
+    Go runtime prints after the fatal line.
+    """
+
+    def __init__(self, num_goroutines: int, dump: str = ""):
+        message = (
+            "fatal error: all goroutines are asleep - deadlock! "
+            f"({num_goroutines} goroutines)"
+        )
+        if dump:
+            message += "\n" + dump
+        super().__init__(message)
+        self.num_goroutines = num_goroutines
+        self.dump = dump
+
+
+class InvalidInstruction(FatalRuntimeError):
+    """A goroutine body yielded something that is not an instruction."""
+
+
+class SchedulerError(FatalRuntimeError):
+    """Internal inconsistency detected by the scheduler."""
+
+
+class ProgramTimeout(ReproError):
+    """The program exceeded the wall-clock or virtual-time budget."""

@@ -1,0 +1,67 @@
+"""RQ1(b): GOLF vs goleak on the synthetic enterprise corpus.
+
+The paper's headline numbers: goleak reported 29 513 individual partial
+deadlocks across 3 111 package test suites, deduplicated to 357; GOLF
+detected 17 872 of the individual reports (60%), deduplicating to 180
+(50%).  This driver runs the scaled corpus and reports the same four
+numbers plus the ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.runner import CorpusResult, run_corpus
+
+
+class RQ1bResult:
+    """Headline counts plus the underlying corpus result."""
+
+    def __init__(self, corpus: CorpusResult, config: CorpusConfig):
+        self.corpus = corpus
+        self.config = config
+
+    @property
+    def goleak_total(self) -> int:
+        return self.corpus.goleak_total
+
+    @property
+    def golf_total(self) -> int:
+        return self.corpus.golf_total
+
+    @property
+    def goleak_dedup(self) -> int:
+        return self.corpus.goleak_dedup
+
+    @property
+    def golf_dedup(self) -> int:
+        return self.corpus.golf_dedup
+
+    @property
+    def individual_ratio(self) -> float:
+        return self.golf_total / max(1, self.goleak_total)
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self.golf_dedup / max(1, self.goleak_dedup)
+
+
+def run_rq1b(config: Optional[CorpusConfig] = None) -> RQ1bResult:
+    config = config or CorpusConfig()
+    return RQ1bResult(run_corpus(config), config)
+
+
+def format_rq1b(result: RQ1bResult) -> str:
+    return "\n".join([
+        f"Corpus: {result.config.n_packages} packages, "
+        f"{result.config.n_sites} library sites "
+        f"(paper: 3111 packages)",
+        f"goleak individual reports: {result.goleak_total} "
+        f"(paper: 29513)",
+        f"GOLF   individual reports: {result.golf_total} "
+        f"({result.individual_ratio:.0%}; paper: 17872 = 60%)",
+        f"goleak deduplicated:       {result.goleak_dedup} (paper: 357)",
+        f"GOLF   deduplicated:       {result.golf_dedup} "
+        f"({result.dedup_ratio:.0%}; paper: 180 = 50%)",
+    ])

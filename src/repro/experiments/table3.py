@@ -1,0 +1,60 @@
+"""Table 3: production-service overhead — baseline vs GOLF.
+
+Runs the long-lived light-load service of
+:mod:`repro.service.production` under both collectors and averages the
+3-minute metric emissions, reporting P50/P99 latency and CPU utilization
+as mean +/- standard deviation, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.service.production import (
+    ProductionConfig,
+    ProductionResult,
+    run_production,
+)
+
+
+class Table3Result:
+    """Both service variants plus their Table 3 summary rows."""
+
+    def __init__(self, baseline: ProductionResult, golf: ProductionResult):
+        self.baseline = baseline
+        self.golf = golf
+
+    def rows(self) -> Dict[str, Dict[str, Tuple[float, float]]]:
+        return {
+            "baseline": self.baseline.summary(),
+            "golf": self.golf.summary(),
+        }
+
+
+def run_table3(config: Optional[ProductionConfig] = None) -> Table3Result:
+    config = config or ProductionConfig()
+    baseline = run_production(config, golf=False)
+    golf = run_production(config, golf=True)
+    return Table3Result(baseline, golf)
+
+
+def format_table3(result: Table3Result) -> str:
+    rows = result.rows()
+    lines = [
+        f"{'':10s} {'Variant':10s} {'Latency (ms)':>22s} {'CPU usage (%)':>22s}",
+        "-" * 68,
+    ]
+    for pct, lat_key in (("P50", "p50_latency_ms"), ("P99", "p99_latency_ms")):
+        for variant in ("baseline", "golf"):
+            lat_mean, lat_std = rows[variant][lat_key]
+            cpu_mean, cpu_std = rows[variant]["cpu_percent_p50"]
+            lines.append(
+                f"{pct:10s} {variant:10s} "
+                f"{lat_mean:>12.1f} ± {lat_std:<8.1f} "
+                f"{cpu_mean:>12.2f} ± {cpu_std:<8.2f}"
+            )
+    lines.append(
+        f"GOLF deadlock reports: {result.golf.deadlock_reports} "
+        f"(baseline: {result.baseline.deadlock_reports})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Select-order fuzzing combined with GOLF detection (paper, section 7).
+
+The paper notes that GFuzz's message-reordering exploration and GOLF's
+GC-based detection are complementary and suggests combining them as
+future work; :mod:`repro.fuzz.gfuzz` implements that combination for
+this runtime.
+"""
+
+from repro.fuzz.gfuzz import FuzzResult, SelectProfile, fuzz_program
+
+__all__ = ["FuzzResult", "SelectProfile", "fuzz_program"]

@@ -1,0 +1,7 @@
+"""Garbage collection: heap, tricolor marking, collector, statistics."""
+
+from repro.gc.collector import Collector
+from repro.gc.heap import Heap
+from repro.gc.stats import CycleStats, GCStats, MemStats
+
+__all__ = ["Collector", "Heap", "CycleStats", "GCStats", "MemStats"]

@@ -1,0 +1,190 @@
+"""The collection cycle: baseline Go GC and the GOLF extension.
+
+The baseline cycle follows the paper's section 5.1: initialization (new
+mark epoch, root preparation), marking, mark termination, sweeping.  With
+GOLF enabled (section 5.2), the root set starts from runnable goroutines
+only, marking alternates with root-set expansion until the reachable
+liveness fixpoint, unmarked user-blocked goroutines are reported as
+partial deadlocks, and recovery proceeds under the two-cycle finalizer
+protocol of :mod:`repro.core.recovery`.
+
+Simulated cost model (drives the paper's Table 2 / Figure 4 metrics):
+
+- *marking clock* = traversed references x ``ns_per_mark_edge``.  Marking
+  runs concurrently with the mutator in Go, so it contributes to GC CPU
+  time but not to the pause.
+- *pause* = two stop-the-world windows (``stw_base_ns`` each) plus, under
+  GOLF, the liveness checks and forced shutdowns that run under
+  stop-the-world conditions.  The pause advances the virtual clock and
+  stalls in-flight instructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import detector as detector_mod
+from repro.core import masking, recovery
+from repro.core.config import GolfConfig
+from repro.core.reports import ReportLog
+from repro.gc.heap import Heap
+from repro.gc.marking import mark_from
+from repro.gc.stats import CycleStats, GCStats
+from repro.runtime.clock import Clock
+from repro.runtime.goroutine import Goroutine, GStatus
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.sync import Pool
+
+
+class Collector:
+    """Owns GC pacing and executes collection cycles."""
+
+    def __init__(self, heap: Heap, sched: Scheduler, clock: Clock,
+                 config: GolfConfig, reports: ReportLog):
+        self.heap = heap
+        self.sched = sched
+        self.clock = clock
+        self.config = config
+        self.reports = reports
+        self.stats = GCStats()
+        self._next_target = config.min_heap_bytes
+        self._pending_reclaim: List[Goroutine] = []
+        # Wire the runtime hooks.
+        sched.gc_hook = self.collect
+        sched.alloc_hook = self.maybe_collect
+        if config.golf:
+            sched.mask_key = masking.mask_addr
+
+    # -- pacing -----------------------------------------------------------
+
+    def maybe_collect(self) -> Optional[CycleStats]:
+        """Allocation hook: collect when the heap passes the GOGC target."""
+        if self.heap.live_bytes >= self._next_target:
+            return self.collect(reason="pacer")
+        return None
+
+    # -- the cycle ----------------------------------------------------------
+
+    def collect(self, reason: str = "forced") -> CycleStats:
+        """Run one full collection cycle."""
+        cycle_no = self.stats.num_gc + 1
+        cs = CycleStats(cycle_no, reason, self.config.mode, self.clock.now)
+        cs.heap_bytes_before = self.heap.live_bytes
+        cs.heap_objects_before = self.heap.live_objects
+
+        self.heap.begin_cycle()
+
+        # sync.Pool integration: each cycle ages the pools' caches
+        # (primary -> victim -> released), as Go does under STW.
+        for obj in self.heap.objects():
+            if isinstance(obj, Pool):
+                obj.on_gc()
+
+        # Second half of the two-cycle recovery protocol: shut down the
+        # goroutines reported (and finalizer-cleared) last detection.
+        for g in self._pending_reclaim:
+            self.sched.reclaim_deadlocked(g)
+            cs.goroutines_reclaimed += 1
+        self._pending_reclaim = []
+
+        detect_now = (
+            self.config.golf
+            and (cycle_no - 1) % self.config.detect_every == 0
+        )
+        if detect_now:
+            self._golf_cycle(cs)
+        else:
+            self._baseline_cycle(cs)
+
+        sweep_result, finalizer_thunks = self.heap.sweep()
+        cs.swept_objects = sweep_result.freed_objects
+        cs.swept_bytes = sweep_result.freed_bytes
+        cs.finalizers_queued = sweep_result.finalizers_queued
+        for thunk in finalizer_thunks:
+            thunk()
+
+        cs.mark_clock_ns = (
+            cs.mark_work_units * self.config.ns_per_mark_edge
+            + cs.mark_iterations * self.config.ns_per_mark_iteration
+        )
+        pause = 2 * self.config.stw_base_ns
+        if detect_now:
+            pause += cs.liveness_checks * self.config.ns_per_liveness_check
+            pause += cs.goroutines_reclaimed * self.config.ns_per_reclaim
+        cs.pause_ns = pause
+        # Marking runs concurrently with the mutator in Go but still
+        # consumes CPU; approximate its mutator impact by spreading the
+        # marking clock across the virtual processors.
+        mark_stall = cs.mark_clock_ns // max(1, len(self.sched.procs))
+        total_stall = pause + mark_stall
+        self.clock.advance(total_stall)
+        self.sched.stall_all(total_stall)
+
+        cs.heap_bytes_after = self.heap.live_bytes
+        cs.heap_objects_after = self.heap.live_objects
+        self._next_target = max(
+            self.config.min_heap_bytes,
+            self.heap.live_bytes * (100 + self.config.gogc) // 100,
+        )
+        self.stats.record(cs)
+        if self.sched.tracer is not None:
+            self.sched.tracer.emit(
+                "gc-cycle", 0,
+                f"#{cs.cycle} {cs.mode} iters={cs.mark_iterations} "
+                f"work={cs.mark_work_units} swept={cs.swept_bytes}B "
+                f"deadlocks={cs.deadlocks_detected}")
+        return cs
+
+    def _baseline_cycle(self, cs: CycleStats) -> None:
+        """Regular Go marking: every goroutine is a root."""
+        roots = [self.heap.globals] + [
+            g for g in self.sched.allgs if g.status != GStatus.DEAD
+        ]
+        work, _ = mark_from(self.heap, roots, respect_masks=False)
+        cs.mark_iterations = 1
+        cs.mark_work_units = work
+
+    def _golf_cycle(self, cs: CycleStats) -> None:
+        """GOLF marking, detection, and the first half of recovery."""
+        det = detector_mod.detect(
+            self.heap, self.sched.allgs,
+            on_the_fly=self.config.on_the_fly_roots,
+            dead_global_hints=self.config.dead_global_hints,
+        )
+        cs.mark_iterations = det.mark_iterations
+        cs.mark_work_units = det.mark_work_units
+        cs.liveness_checks = det.liveness_checks
+
+        if self.config.dead_global_hints:
+            # Hints affect liveness only, never collection: re-mark the
+            # full global view so hinted objects are not swept while the
+            # global table still references them.
+            extra_work, _ = mark_from(
+                self.heap, [self.heap.globals], respect_masks=True)
+            cs.mark_work_units += extra_work
+
+        for g in det.deadlocked:
+            report = self.reports.add(g, cs.cycle, self.clock.now)
+            g.reported = True
+            if self.sched.tracer is not None:
+                self.sched.tracer.emit(
+                    "partial-deadlock", g.goid,
+                    f"{report.wait_reason} at {report.block_site}")
+            if self.config.on_report is not None:
+                self.config.on_report(report)
+            cs.deadlocks_detected += 1
+            # Schedule the goroutine's memory for marking this cycle and
+            # probe the exclusively reachable subgraph for finalizers.
+            g.masked = False
+            has_finalizer, extra_work = recovery.scan_and_mark_subgraph(
+                self.heap, g
+            )
+            cs.mark_work_units += extra_work
+            if has_finalizer or not self.config.reclaim:
+                g.status = GStatus.DEADLOCKED
+                if has_finalizer:
+                    cs.deadlocks_kept_for_finalizers += 1
+            else:
+                g.status = GStatus.PENDING_RECLAIM
+                self._pending_reclaim.append(g)
+        masking.unmask_all(self.sched.allgs)

@@ -1,0 +1,215 @@
+"""The simulated heap: allocation, mark bits, sweeping, and globals.
+
+The heap owns every live :class:`~repro.runtime.objects.HeapObject`,
+assigns simulated addresses, tracks allocation statistics (the analog of
+Go's ``runtime.MemStats``), and implements the sweep phase: unmarked
+objects are reclaimed, and unmarked objects with finalizers are resurrected
+for one cycle while their finalizer is queued, as in Go.
+
+Mark state is an epoch counter rather than a bit: an object is marked in
+the current cycle iff its ``_mark_epoch`` equals the heap's epoch, so
+"unmark all objects" at the start of a cycle is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+from repro.runtime.objects import HeapObject, iter_heap_refs
+
+
+class GlobalRoot(HeapObject):
+    """The global-data root object (the paper's ``g0`` global view).
+
+    Any value registered here is intrinsically reachable; programs use it
+    to model package-level variables such as the global channel of the
+    paper's Listing 4 (a known false-negative pattern for GOLF).
+    """
+
+    __slots__ = ("names",)
+    kind = "globals"
+
+    def __init__(self) -> None:
+        super().__init__(size=0)
+        self.names: Dict[str, Any] = {}
+
+    def set(self, name: str, value: Any) -> None:
+        self.names[name] = value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.names.get(name, default)
+
+    def remove(self, name: str) -> None:
+        self.names.pop(name, None)
+
+    def referents(self) -> Iterator[HeapObject]:
+        for value in self.names.values():
+            yield from iter_heap_refs(value)
+
+    def referents_excluding(self, names) -> Iterator[HeapObject]:
+        """Referents with some entries hidden — used by the detector
+        when static liveness hints declare certain globals dead (the
+        paper's future-work extension).  Collection itself never uses
+        this view: hinted globals stay in memory."""
+        for name, value in self.names.items():
+            if name in names:
+                continue
+            yield from iter_heap_refs(value)
+
+
+class SweepResult:
+    """Outcome of a sweep phase."""
+
+    __slots__ = ("freed_objects", "freed_bytes", "finalizers_queued")
+
+    def __init__(self, freed_objects: int, freed_bytes: int,
+                 finalizers_queued: int):
+        self.freed_objects = freed_objects
+        self.freed_bytes = freed_bytes
+        self.finalizers_queued = finalizers_queued
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepResult(freed_objects={self.freed_objects}, "
+            f"freed_bytes={self.freed_bytes}, "
+            f"finalizers_queued={self.finalizers_queued})"
+        )
+
+
+class Heap:
+    """Container for all live simulated objects.
+
+    Attributes:
+        globals: the :class:`GlobalRoot`, always allocated and pinned.
+        epoch: current mark epoch; bumped by :meth:`begin_cycle`.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[int, HeapObject] = {}
+        self._next_addr = 0x1000
+        self._pinned: set = set()
+        self.epoch = 0
+        # Cumulative statistics.
+        self.total_alloc_bytes = 0
+        self.total_alloc_objects = 0
+        self.total_freed_bytes = 0
+        self.total_freed_objects = 0
+        self.globals = GlobalRoot()
+        self.allocate(self.globals, pinned=True)
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self, obj: HeapObject, pinned: bool = False) -> HeapObject:
+        """Place ``obj`` on the heap, assigning it a fresh address.
+
+        Pinned objects (goroutine descriptors, the global root) are never
+        swept; the runtime manages their lifecycle explicitly.
+        """
+        if obj.addr != 0:
+            raise ValueError(f"object already allocated: {obj!r}")
+        obj.addr = self._next_addr
+        self._next_addr += max(obj.size, 16)
+        self._objects[obj.addr] = obj
+        self.total_alloc_bytes += obj.size
+        self.total_alloc_objects += 1
+        if pinned:
+            self._pinned.add(obj.addr)
+        return obj
+
+    def pin(self, obj: HeapObject) -> None:
+        """Exclude ``obj`` from sweeping."""
+        self._pinned.add(obj.addr)
+
+    def unpin(self, obj: HeapObject) -> None:
+        self._pinned.discard(obj.addr)
+
+    def free(self, obj: HeapObject) -> None:
+        """Explicitly remove ``obj`` from the heap (runtime-internal)."""
+        if self._objects.pop(obj.addr, None) is not None:
+            self.total_freed_bytes += obj.size
+            self.total_freed_objects += 1
+            self._pinned.discard(obj.addr)
+
+    # -- introspection ----------------------------------------------------
+
+    def contains(self, obj: HeapObject) -> bool:
+        """Whether ``obj`` is currently live on this heap."""
+        return obj.addr != 0 and self._objects.get(obj.addr) is obj
+
+    def objects(self) -> Iterator[HeapObject]:
+        """Iterate over all live objects (sweep-order: address order)."""
+        return iter(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes held by live (not yet swept) objects: ``HeapAlloc``."""
+        return self.total_alloc_bytes - self.total_freed_bytes
+
+    @property
+    def live_objects(self) -> int:
+        """Number of live objects: ``HeapObjects``."""
+        return self.total_alloc_objects - self.total_freed_objects
+
+    # -- marking ----------------------------------------------------------
+
+    def begin_cycle(self) -> None:
+        """Start a new mark epoch, logically unmarking every object."""
+        self.epoch += 1
+
+    def mark(self, obj: HeapObject) -> bool:
+        """Mark ``obj`` for the current epoch; return True if newly marked."""
+        if obj._mark_epoch == self.epoch:
+            return False
+        obj._mark_epoch = self.epoch
+        return True
+
+    def is_marked(self, obj: HeapObject) -> bool:
+        return obj._mark_epoch == self.epoch
+
+    # -- sweeping ---------------------------------------------------------
+
+    def sweep(self) -> Tuple[SweepResult, List[Callable[[], None]]]:
+        """Reclaim unmarked, unpinned objects.
+
+        Unmarked objects carrying a finalizer are resurrected instead of
+        freed: their finalizer is detached and returned as a queued
+        thunk, and the object survives until a later cycle finds it
+        unreachable again — mirroring Go's finalizer resurrection.
+
+        Returns the sweep statistics and the queued finalizer thunks; the
+        collector decides when to run them.
+        """
+        freed_objects = 0
+        freed_bytes = 0
+        finalizers: List[Callable[[], None]] = []
+        to_free: List[HeapObject] = []
+        for obj in self._objects.values():
+            if obj._mark_epoch == self.epoch or obj.addr in self._pinned:
+                continue
+            if obj._finalizer is not None:
+                fn = obj._finalizer
+                obj._finalizer = None
+                # Resurrect for this cycle; mark so a re-scan sees it live.
+                obj._mark_epoch = self.epoch
+                finalizers.append(_bind_finalizer(fn, obj))
+                continue
+            to_free.append(obj)
+        for obj in to_free:
+            del self._objects[obj.addr]
+            freed_objects += 1
+            freed_bytes += obj.size
+        self.total_freed_objects += freed_objects
+        self.total_freed_bytes += freed_bytes
+        return SweepResult(freed_objects, freed_bytes, len(finalizers)), finalizers
+
+
+def _bind_finalizer(
+    fn: Callable[[HeapObject], None], obj: HeapObject
+) -> Callable[[], None]:
+    def thunk() -> None:
+        fn(obj)
+
+    return thunk

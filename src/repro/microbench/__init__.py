@@ -1,0 +1,25 @@
+"""The microbenchmark corpus: 73 leaky programs, 121 leaky ``go`` sites.
+
+Mirrors the suite used for the paper's RQ1(a)/Table 1: benchmarks derived
+from GoBench ("goker") and from Saioc et al.'s leaky-pattern collection
+("cgo-examples"), each annotated with the ``go`` instructions expected to
+leak.  Flaky benchmarks reproduce their non-determinism through genuine
+runtime races (select choice, timer/processor contention), so detection
+rates vary with GOMAXPROCS and seed exactly as in the paper.
+"""
+
+from repro.microbench.registry import (
+    Microbenchmark,
+    all_benchmarks,
+    benchmarks_by_name,
+    correct_benchmarks,
+    total_leaky_sites,
+)
+
+__all__ = [
+    "Microbenchmark",
+    "all_benchmarks",
+    "benchmarks_by_name",
+    "correct_benchmarks",
+    "total_leaky_sites",
+]

@@ -1,0 +1,204 @@
+"""Extended leak patterns over the modern Go idioms.
+
+These go beyond the paper's corpus (which predates some of these
+libraries' ubiquity) and exercise the boundary of GOLF's detection on
+the idioms production Go actually uses: ``context`` cancellation,
+``time.Ticker``, ``errgroup``, and lock-ordering deadlocks.  Each entry
+states whether GOLF *should* detect it, and the tests hold the detector
+to exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple
+
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.context import with_cancel, with_timeout
+from repro.runtime.errgroup import group_go, new_group
+from repro.runtime.instructions import (
+    Go,
+    Lock,
+    MakeChan,
+    NewMutex,
+    NewSema,
+    Recv,
+    RecvCase,
+    Select,
+    SemAcquire,
+    Send,
+    Sleep,
+    Unlock,
+)
+from repro.runtime.timers import new_ticker
+
+
+class ExtendedBenchmark(NamedTuple):
+    """A pattern plus its expected detection verdicts."""
+
+    name: str
+    body: Callable
+    #: Labels GOLF must report.
+    golf_detects: List[str]
+    #: Labels only goleak-style end-of-test inspection can see
+    #: (runaway-live or externally parked goroutines).
+    goleak_only: List[str]
+
+
+def ticker_forgotten_stop() -> ExtendedBenchmark:
+    """``time.NewTicker`` without ``Stop()``: the tick loop runs forever.
+
+    A *runaway live* goroutine — GOLF must stay silent (it may tick
+    again), while goleak flags it at test end.  The lingering goroutine
+    is the tick loop itself, labeled ``ticker`` by ``new_ticker``."""
+    name = "ext/ticker-no-stop"
+
+    def body():
+        ticker = yield from new_ticker(20 * MICROSECOND)
+
+        def consumer():
+            for _ in range(2):
+                yield Recv(ticker.ch)
+            # returns without ticker.stop(): the tick loop lives forever
+
+        yield Go(consumer, name=f"{name}:1")
+
+    return ExtendedBenchmark(name, body, golf_detects=[],
+                             goleak_only=["ticker"])
+
+
+def context_not_watched() -> ExtendedBenchmark:
+    """A worker that ignores ``ctx.Done()``: cancellation cannot reach
+    it, and once the caller returns, its result send deadlocks."""
+    name = "ext/ctx-not-watched"
+    label = f"{name}:2"
+
+    def body():
+        ctx, cancel = yield from with_cancel()
+        results = yield MakeChan(0)
+
+        def worker():
+            yield Sleep(30 * MICROSECOND)
+            yield Send(results, "answer")  # never selects on ctx.done
+
+        yield Go(worker, name=label)
+        yield from cancel()  # caller gives up immediately
+        # ...and returns without receiving: the worker leaks
+
+    return ExtendedBenchmark(name, body, golf_detects=[label],
+                             goleak_only=[])
+
+
+def context_timeout_abandons_worker() -> ExtendedBenchmark:
+    """``context.WithTimeout`` done right on the caller side, but the
+    worker's send has no buffer: when the deadline wins the select, the
+    worker is stranded."""
+    name = "ext/ctx-timeout"
+    label = f"{name}:3"
+
+    def body():
+        ctx, _cancel = yield from with_timeout(10 * MICROSECOND)
+        results = yield MakeChan(0)
+
+        def worker():
+            yield Sleep(50 * MICROSECOND)  # slower than the deadline
+            yield Send(results, "late")
+
+        yield Go(worker, name=label)
+        yield Select([RecvCase(results), RecvCase(ctx.done)])
+
+    return ExtendedBenchmark(name, body, golf_detects=[label],
+                             goleak_only=[])
+
+
+def errgroup_forgotten_wait() -> ExtendedBenchmark:
+    """An errgroup whose results channel nobody drains because the
+    caller forgot ``Wait()`` (and the drain that follows it)."""
+    name = "ext/errgroup-no-wait"
+    label = f"{name}:4"
+
+    def body():
+        group = yield from new_group()
+        results = yield MakeChan(0)
+
+        def task(i):
+            yield Sleep(5 * MICROSECOND)
+            yield Send(results, i)
+            return None
+
+        for i in range(3):
+            yield from group_go(group, task, i, name=label)
+        # caller returns without group_wait(group) / draining results
+
+    return ExtendedBenchmark(name, body, golf_detects=[label],
+                             goleak_only=[])
+
+
+def abba_lock_ordering() -> ExtendedBenchmark:
+    """The classic AB-BA mutex deadlock between two goroutines.  Both
+    are permanently blocked on ``sync.Mutex.Lock`` and neither mutex is
+    reachable from live code: GOLF reports both."""
+    name = "ext/abba"
+    label_ab = f"{name}:5"
+    label_ba = f"{name}:6"
+
+    def body():
+        mu_a = yield NewMutex(label="A")
+        mu_b = yield NewMutex(label="B")
+
+        def locker_ab():
+            yield Lock(mu_a)
+            yield Sleep(10 * MICROSECOND)
+            yield Lock(mu_b)
+            yield Unlock(mu_b)
+            yield Unlock(mu_a)
+
+        def locker_ba():
+            yield Lock(mu_b)
+            yield Sleep(10 * MICROSECOND)
+            yield Lock(mu_a)
+            yield Unlock(mu_a)
+            yield Unlock(mu_b)
+
+        yield Go(locker_ab, name=label_ab)
+        yield Go(locker_ba, name=label_ba)
+
+    return ExtendedBenchmark(name, body,
+                             golf_detects=[label_ab, label_ba],
+                             goleak_only=[])
+
+
+def semaphore_pool_exhausted() -> ExtendedBenchmark:
+    """A counting-semaphore pool whose holders never release: the
+    queued acquirer deadlocks."""
+    name = "ext/sema-pool"
+    label = f"{name}:7"
+
+    def body():
+        pool = yield NewSema(2)
+
+        def hog():
+            yield SemAcquire(pool)
+            # exits while still holding a slot (missing release)
+
+        def queued():
+            yield SemAcquire(pool)
+
+        yield Go(hog)
+        yield Go(hog)
+        yield Sleep(10 * MICROSECOND)
+        yield Go(queued, name=label)
+
+    return ExtendedBenchmark(name, body, golf_detects=[label],
+                             goleak_only=[])
+
+
+def extended_benchmarks() -> List[ExtendedBenchmark]:
+    """The full extended suite."""
+    return [
+        ticker_forgotten_stop(),
+        context_not_watched(),
+        context_timeout_abandons_worker(),
+        errgroup_forgotten_wait(),
+        abba_lock_ordering(),
+        semaphore_pool_exhausted(),
+    ]

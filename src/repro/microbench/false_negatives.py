@@ -1,0 +1,89 @@
+"""Known false-negative patterns (paper, section 4.3, Listings 4-5).
+
+GOLF is sound but incomplete: a deadlocked goroutine whose blocking
+object stays reachable from live memory is never reported.  These
+builders construct the two real-world shapes the paper highlights —
+global channels and runaway live goroutines — plus the finalizer-keep
+case of section 5.5.  They are exercised by the completeness tests and
+stand in for the GOLEAK-only findings in the RQ1(b) corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Alloc,
+    Go,
+    MakeChan,
+    Recv,
+    Send,
+    SetFinalizer,
+    SetGlobal,
+    Sleep,
+)
+from repro.runtime.objects import Box, Struct
+
+
+def global_channel_leak(name: str, line: int = 59) -> Tuple[Callable, List[str]]:
+    """Listing 4: a sender on a *global* channel deadlocks, but the
+    channel is intrinsically reachable, so GOLF never reports it."""
+    label = f"{name}:{line}"
+
+    def body():
+        ch = yield MakeChan(0, label="global-ch")
+        yield SetGlobal(f"{name}.ch", ch)
+
+        def sender():
+            yield Send(ch, 1)
+
+        yield Go(sender, name=label)
+
+    return body, [label]
+
+
+def runaway_heartbeat(name: str, line: int = 80) -> Tuple[Callable, List[str]]:
+    """Listing 5: a heartbeat goroutine keeps the dispatcher (and its
+    channel) reachable forever, hiding the deadlocked sender."""
+    label = f"{name}:{line}"
+
+    def body():
+        ch = yield MakeChan(0, label="dispatcher.ch")
+        dispatcher = yield Alloc(Struct(ch=ch, ticks=0))
+
+        def heartbeat():
+            while True:
+                yield Sleep(100 * MICROSECOND)
+                dispatcher["ticks"] = dispatcher["ticks"] + 1
+
+        def sender():
+            yield Send(dispatcher["ch"], ())
+
+        yield Go(heartbeat)  # always reachably live; pins `dispatcher`
+        yield Go(sender, name=label)
+
+    return body, [label]
+
+
+def finalizer_keeps_goroutine(name: str,
+                              line: int = 86) -> Tuple[Callable, List[str]]:
+    """Listing 6: the leaked goroutine's stack holds an object with a
+    finalizer.  GOLF *reports* the deadlock but must not reclaim it —
+    the goroutine is parked in the DEADLOCKED state instead, keeping Go
+    semantics (the finalizer's effects stay unobservable)."""
+    label = f"{name}:{line}"
+    fired: List[bool] = []
+
+    def body():
+        ch = yield MakeChan(0, label="values")
+
+        def averager():
+            values = yield Alloc(Box([]))
+            yield SetFinalizer(values, lambda obj: fired.append(True))
+            yield Recv(ch)  # caller never sends: deadlocks
+
+        yield Go(averager, name=label)
+
+    body.finalizer_fired = fired  # test hook
+    return body, [label]

@@ -1,0 +1,610 @@
+"""Deterministic leaky-pattern builders.
+
+Each builder returns ``(body, labels, fixed)``:
+
+- ``body`` — a zero-argument generator function instantiating the pattern
+  once; leaky inner goroutines are spawned with ``Go(..., name=label)``
+  so deadlock reports can be matched to the annotated site;
+- ``labels`` — the leaky ``go``-site labels (``"<bench>:<line>"``);
+- ``fixed`` — a corrected variant of the same code (or ``None``), used
+  for the paper's Figure 4 "correct programs" population.
+
+The patterns distill the defect families found in GoBench and the
+paper's motivating examples: forgotten receivers/senders, double sends,
+unclosed ranged channels (Listing 3), timeout paths abandoning workers,
+``sync`` misuse, nil channels, and multi-stage pipelines without
+cancellation (Listing 7's ``SendEmail`` is :func:`listing7_sendmail`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.microbench.helpers import after
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    CondSignal,
+    CondWait,
+    Go,
+    Lock,
+    MakeChan,
+    NewCond,
+    NewMutex,
+    NewRWMutex,
+    NewSema,
+    NewWaitGroup,
+    Recv,
+    RecvCase,
+    RLock,
+    RUnlock,
+    Select,
+    SemAcquire,
+    SemRelease,
+    Send,
+    SendCase,
+    Sleep,
+    Unlock,
+    WgAdd,
+    WgDone,
+    WgWait,
+)
+
+Builder = Tuple[Callable, List[str], Optional[Callable]]
+
+
+def forgotten_receiver(name: str, line: int = 10) -> Builder:
+    """A worker sends its result; the caller forgets to receive."""
+    label = f"{name}:{line}"
+
+    def body():
+        ch = yield MakeChan(0)
+
+        def sender():
+            yield Send(ch, 1)
+
+        yield Go(sender, name=label)
+
+    def fixed():
+        ch = yield MakeChan(0)
+
+        def sender():
+            yield Send(ch, 1)
+
+        yield Go(sender, name=label)
+        yield Recv(ch)
+
+    return body, [label], fixed
+
+
+def forgotten_sender(name: str, line: int = 12) -> Builder:
+    """A consumer waits for a message that is never produced."""
+    label = f"{name}:{line}"
+
+    def body():
+        ch = yield MakeChan(0)
+
+        def receiver():
+            yield Recv(ch)
+
+        yield Go(receiver, name=label)
+
+    def fixed():
+        ch = yield MakeChan(0)
+
+        def receiver():
+            yield Recv(ch)
+
+        yield Go(receiver, name=label)
+        yield Send(ch, 1)
+
+    return body, [label], fixed
+
+
+def double_send(name: str, line: int = 21) -> Builder:
+    """The "double send" pattern: the second send has no receiver."""
+    label = f"{name}:{line}"
+
+    def body():
+        ch = yield MakeChan(0)
+
+        def worker():
+            yield Send(ch, "first")
+            yield Send(ch, "second")  # no second receiver: leaks
+
+        yield Go(worker, name=label)
+        yield Recv(ch)
+
+    def fixed():
+        ch = yield MakeChan(2)
+
+        def worker():
+            yield Send(ch, "first")
+            yield Send(ch, "second")
+
+        yield Go(worker, name=label)
+        yield Recv(ch)
+        yield Recv(ch)
+
+    return body, [label], fixed
+
+
+def range_no_close(name: str, line_e: int = 35, line_d: int = 37) -> Builder:
+    """The paper's Listing 3: iterating goroutines over channels that are
+    never closed because ``WaitForResults`` is skipped."""
+    label_e = f"{name}:{line_e}"
+    label_d = f"{name}:{line_d}"
+
+    def _make_manager(skip_wait: bool):
+        def body():
+            errs = yield MakeChan(0, label="gfm.e")
+            data = yield MakeChan(0, label="gfm.d")
+
+            def drain_errs():
+                while True:
+                    _, ok = yield Recv(errs)
+                    if not ok:
+                        return
+
+            def drain_data():
+                while True:
+                    _, ok = yield Recv(data)
+                    if not ok:
+                        return
+
+            yield Go(drain_errs, name=label_e)
+            yield Go(drain_data, name=label_d)
+            if skip_wait:
+                return  # ConcurrentTask early-returns: channels never closed
+            from repro.runtime.instructions import Close
+            yield Close(errs)
+            yield Close(data)
+
+        return body
+
+    return _make_manager(True), [label_e, label_d], _make_manager(False)
+
+
+def wg_no_done(name: str, line: int = 44) -> Builder:
+    """A waiter on a WaitGroup whose worker never calls Done."""
+    label = f"{name}:{line}"
+
+    def body():
+        wg = yield NewWaitGroup()
+        yield WgAdd(wg, 1)
+
+        def waiter():
+            yield WgWait(wg)
+
+        yield Go(waiter, name=label)
+
+    def fixed():
+        wg = yield NewWaitGroup()
+        yield WgAdd(wg, 1)
+
+        def waiter():
+            yield WgWait(wg)
+
+        yield Go(waiter, name=label)
+        yield WgDone(wg)
+
+    return body, [label], fixed
+
+
+def mutex_never_unlocked(name: str, line: int = 53) -> Builder:
+    """The caller keeps a mutex locked forever; a contender leaks."""
+    label = f"{name}:{line}"
+
+    def body():
+        mu = yield NewMutex()
+        yield Lock(mu)
+
+        def contender():
+            yield Lock(mu)
+            yield Unlock(mu)
+
+        yield Go(contender, name=label)
+        # forgot: yield Unlock(mu)
+
+    def fixed():
+        mu = yield NewMutex()
+        yield Lock(mu)
+
+        def contender():
+            yield Lock(mu)
+            yield Unlock(mu)
+
+        yield Go(contender, name=label)
+        yield Unlock(mu)
+
+    return body, [label], fixed
+
+
+def cond_missed_signal(name: str, line: int = 61) -> Builder:
+    """A condition-variable waiter that is never signaled."""
+    label = f"{name}:{line}"
+
+    def body():
+        mu = yield NewMutex()
+        cond = yield NewCond(mu)
+
+        def waiter():
+            yield Lock(mu)
+            yield CondWait(cond)
+            yield Unlock(mu)
+
+        yield Go(waiter, name=label)
+
+    def fixed():
+        mu = yield NewMutex()
+        cond = yield NewCond(mu)
+
+        def waiter():
+            yield Lock(mu)
+            yield CondWait(cond)
+            yield Unlock(mu)
+
+        yield Go(waiter, name=label)
+        yield Sleep(10 * MICROSECOND)  # let the waiter park
+        yield Lock(mu)
+        yield CondSignal(cond)
+        yield Unlock(mu)
+
+    return body, [label], fixed
+
+
+def select_both_blocked(name: str, line: int = 70) -> Builder:
+    """A goroutine selecting over two channels nobody else uses."""
+    label = f"{name}:{line}"
+
+    def body():
+        a = yield MakeChan(0)
+        b = yield MakeChan(0)
+
+        def selector():
+            yield Select([RecvCase(a), SendCase(b, 1)])
+
+        yield Go(selector, name=label)
+
+    def fixed():
+        a = yield MakeChan(0)
+        b = yield MakeChan(0)
+
+        def selector():
+            yield Select([RecvCase(a), SendCase(b, 1)])
+
+        yield Go(selector, name=label)
+        yield Send(a, 1)
+
+    return body, [label], fixed
+
+
+def nil_channel_send(name: str, line: int = 77) -> Builder:
+    """Send on a nil channel: blocks forever with ``B(g) = {ε}``."""
+    label = f"{name}:{line}"
+
+    def body():
+        def sender():
+            yield Send(None, 1)
+
+        yield Go(sender, name=label)
+
+    return body, [label], None
+
+
+def empty_select(name: str, line: int = 83) -> Builder:
+    """``select {}``: blocks forever."""
+    label = f"{name}:{line}"
+
+    def body():
+        def blocker():
+            yield Select([])
+
+        yield Go(blocker, name=label)
+
+    return body, [label], None
+
+
+def buffered_overflow(name: str, line: int = 90) -> Builder:
+    """A producer overruns a full buffered channel nobody drains."""
+    label = f"{name}:{line}"
+
+    def body():
+        ch = yield MakeChan(1)
+
+        def producer():
+            yield Send(ch, 1)  # fills the buffer
+            yield Send(ch, 2)  # blocks forever
+
+        yield Go(producer, name=label)
+
+    def fixed():
+        ch = yield MakeChan(2)
+
+        def producer():
+            yield Send(ch, 1)
+            yield Send(ch, 2)
+
+        yield Go(producer, name=label)
+        yield Recv(ch)
+        yield Recv(ch)
+
+    return body, [label], fixed
+
+
+def timeout_abandons_worker(name: str, line: int = 99) -> Builder:
+    """The caller times out and returns; the slow worker's send leaks."""
+    label = f"{name}:{line}"
+
+    def body():
+        result = yield MakeChan(0)
+
+        def worker():
+            yield Sleep(200 * MICROSECOND)  # slow task
+            yield Send(result, "done")
+
+        yield Go(worker, name=label)
+        timeout = yield from after(10 * MICROSECOND)
+        yield Select([RecvCase(result), RecvCase(timeout)])
+
+    def fixed():
+        result = yield MakeChan(1)  # buffered: worker never blocks
+
+        def worker():
+            yield Sleep(200 * MICROSECOND)
+            yield Send(result, "done")
+
+        yield Go(worker, name=label)
+        timeout = yield from after(10 * MICROSECOND)
+        yield Select([RecvCase(result), RecvCase(timeout)])
+
+    return body, [label], fixed
+
+
+def rwmutex_stuck_pair(name: str, line_r: int = 108,
+                       line_w: int = 113) -> Builder:
+    """A reader parks holding RLock; a writer queues behind it forever."""
+    label_r = f"{name}:{line_r}"
+    label_w = f"{name}:{line_w}"
+
+    def body():
+        rw = yield NewRWMutex()
+        never = yield MakeChan(0)
+
+        def reader():
+            yield RLock(rw)
+            yield Recv(never)  # parks forever while holding the read lock
+            yield RUnlock(rw)
+
+        def writer():
+            yield Lock(rw)
+            yield Unlock(rw)
+
+        yield Go(reader, name=label_r)
+        yield Sleep(5 * MICROSECOND)
+        yield Go(writer, name=label_w)
+
+    def fixed():
+        rw = yield NewRWMutex()
+        never = yield MakeChan(1)
+
+        def reader():
+            yield RLock(rw)
+            yield Recv(never)
+            yield RUnlock(rw)
+
+        def writer():
+            yield Lock(rw)
+            yield Unlock(rw)
+
+        yield Go(reader, name=label_r)
+        yield Sleep(5 * MICROSECOND)
+        yield Go(writer, name=label_w)
+        yield Send(never, None)
+
+    return body, [label_r, label_w], fixed
+
+
+def daisy_chain(name: str, line: int = 120, length: int = 4) -> Builder:
+    """A chain of goroutines each waiting on the next; the head is never
+    fed, so the whole chain deadlocks (one ``go`` site, many leaks)."""
+    label = f"{name}:{line}"
+
+    def _make(feed_head: bool):
+        def body():
+            channels = []
+            for _ in range(length + 1):
+                ch = yield MakeChan(0)
+                channels.append(ch)
+
+            def stage(src, dst):
+                value, ok = yield Recv(src)
+                if ok:
+                    yield Send(dst, value)
+
+            for i in range(length):
+                yield Go(stage, channels[i], channels[i + 1], name=label)
+            if feed_head:
+                yield Send(channels[0], 42)
+                yield Recv(channels[length])
+
+        return body
+
+    return _make(False), [label], _make(True)
+
+
+def fanin_no_consumer(name: str, lines=(130, 131, 132)) -> Builder:
+    """Three producers feed an aggregation channel nobody reads."""
+    labels = [f"{name}:{ln}" for ln in lines]
+
+    def body():
+        agg = yield MakeChan(0)
+
+        def producer(value):
+            yield Send(agg, value)
+
+        for i, label in enumerate(labels):
+            yield Go(producer, i, name=label)
+
+    def fixed():
+        agg = yield MakeChan(0)
+
+        def producer(value):
+            yield Send(agg, value)
+
+        for i, label in enumerate(labels):
+            yield Go(producer, i, name=label)
+        for _ in labels:
+            yield Recv(agg)
+
+    return body, labels, fixed
+
+
+def pipeline_no_cancellation(name: str, lines=(140, 141, 142)) -> Builder:
+    """A three-stage pipeline abandoned by its consumer mid-stream."""
+    labels = [f"{name}:{ln}" for ln in lines]
+
+    def body():
+        c1 = yield MakeChan(0)
+        c2 = yield MakeChan(0)
+        c3 = yield MakeChan(0)
+
+        def source():
+            for i in range(8):
+                yield Send(c1, i)
+
+        def stage_a():
+            while True:
+                value, ok = yield Recv(c1)
+                if not ok:
+                    return
+                yield Send(c2, value * 2)
+
+        def stage_b():
+            while True:
+                value, ok = yield Recv(c2)
+                if not ok:
+                    return
+                yield Send(c3, value + 1)
+
+        yield Go(source, name=labels[0])
+        yield Go(stage_a, name=labels[1])
+        yield Go(stage_b, name=labels[2])
+        yield Recv(c3)  # consumer takes one item, then walks away
+
+    return body, labels, None
+
+
+def sema_never_released(name: str, line: int = 150) -> Builder:
+    """A semaphore acquire with no matching release anywhere."""
+    label = f"{name}:{line}"
+
+    def body():
+        sema = yield NewSema(0)
+
+        def acquirer():
+            yield SemAcquire(sema)
+
+        yield Go(acquirer, name=label)
+
+    def fixed():
+        sema = yield NewSema(0)
+
+        def acquirer():
+            yield SemAcquire(sema)
+
+        yield Go(acquirer, name=label)
+        yield SemRelease(sema)
+
+    return body, [label], fixed
+
+
+def wg_and_channel_pair(name: str, line_w: int = 158,
+                        line_s: int = 161) -> Builder:
+    """Two dependent leaks: a WaitGroup waiter and a sender whose only
+    receiver is that waiter — exercises transitive deadlock."""
+    label_w = f"{name}:{line_w}"
+    label_s = f"{name}:{line_s}"
+
+    def body():
+        wg = yield NewWaitGroup()
+        yield WgAdd(wg, 1)
+        ch = yield MakeChan(0)
+
+        def waiter():
+            yield WgWait(wg)  # never released
+            yield Recv(ch)
+
+        def sender():
+            yield Send(ch, 1)  # its receiver is stuck on the WaitGroup
+
+        yield Go(waiter, name=label_w)
+        yield Go(sender, name=label_s)
+
+    def fixed():
+        wg = yield NewWaitGroup()
+        yield WgAdd(wg, 1)
+        ch = yield MakeChan(0)
+
+        def waiter():
+            yield WgWait(wg)
+            yield Recv(ch)
+
+        def sender():
+            yield Send(ch, 1)
+
+        yield Go(waiter, name=label_w)
+        yield Go(sender, name=label_s)
+        yield WgDone(wg)
+
+    return body, [label_w, label_s], fixed
+
+
+def listing7_sendmail(name: str, line: int = 105) -> Builder:
+    """The paper's Listing 7 / RQ1(c) bug: ``SendEmail`` returns a done
+    channel the request handler never reads; the deferred send leaks."""
+    label = f"{name}:{line}"
+
+    def _send_email(label_inner):
+        done = yield MakeChan(0, label="done")
+
+        def task():
+            try:
+                yield Sleep(2 * MICROSECOND)  # the email work
+            finally:
+                yield Send(done, ())  # deferred completion signal
+
+        yield Go(task, name=label_inner)
+        return done
+
+    def body():
+        yield from _send_email(label)  # HandleRequest drops the channel
+
+    def fixed():
+        done = yield from _send_email(label)
+        yield Recv(done)
+
+    return body, [label], fixed
+
+
+#: All deterministic builders, for corpus generation.
+DETERMINISTIC_BUILDERS = [
+    forgotten_receiver,
+    forgotten_sender,
+    double_send,
+    range_no_close,
+    wg_no_done,
+    mutex_never_unlocked,
+    cond_missed_signal,
+    select_both_blocked,
+    nil_channel_send,
+    empty_select,
+    buffered_overflow,
+    timeout_abandons_worker,
+    rwmutex_stuck_pair,
+    daisy_chain,
+    fanin_no_consumer,
+    pipeline_no_cancellation,
+    sema_never_released,
+    wg_and_channel_pair,
+    listing7_sendmail,
+]

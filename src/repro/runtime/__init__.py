@@ -1,0 +1,8 @@
+"""The simulated Go runtime: goroutines, channels, sync, scheduling."""
+
+from repro.runtime.api import Runtime
+from repro.runtime.channel import Channel
+from repro.runtime.goroutine import Goroutine, GStatus
+from repro.runtime.waitreason import WaitReason
+
+__all__ = ["Runtime", "Channel", "Goroutine", "GStatus", "WaitReason"]

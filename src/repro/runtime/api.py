@@ -1,0 +1,266 @@
+"""The public runtime facade.
+
+:class:`Runtime` assembles the simulated Go runtime — heap, virtual
+clock, scheduler, collector (baseline or GOLF), and the deadlock report
+log — and exposes the operations programs and experiment harnesses need:
+spawning goroutines, running to completion or a deadline, forcing GC
+cycles, and reading ``MemStats``-style metrics.
+
+Quickstart::
+
+    from repro import Runtime, GolfConfig
+    from repro.runtime.instructions import Go, MakeChan, Send, Sleep
+
+    def main():
+        ch = yield MakeChan(0)
+        def sender():
+            yield Send(ch, "hello")   # no receiver: leaks
+        yield Go(sender, name="leaky-sender")
+        yield Sleep(1_000_000)
+
+    rt = Runtime(procs=4, seed=7, config=GolfConfig())
+    rt.spawn_main(main)
+    rt.run()
+    rt.gc(); rt.gc()                  # detect, then reclaim
+    assert rt.reports.total() == 1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.config import GolfConfig
+from repro.core.reports import ReportLog
+from repro.gc.collector import Collector
+from repro.gc.heap import Heap
+from repro.gc.stats import CycleStats, MemStats
+from repro.runtime.channel import Channel
+from repro.runtime.clock import Clock, MILLISECOND
+from repro.runtime.goroutine import Goroutine, GStatus
+from repro.runtime.instructions import RunGC, Sleep
+from repro.runtime.objects import HeapObject
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.sync import Cond, Mutex, Pool, RWMutex, WaitGroup
+
+
+class Runtime:
+    """A simulated Go runtime instance.
+
+    Args:
+        procs: GOMAXPROCS — number of virtual processors.
+        seed: seed for all scheduling/jitter randomness.
+        config: collector configuration; defaults to GOLF with recovery.
+        base_cost_ns: simulated duration of an ordinary instruction.
+    """
+
+    def __init__(self, procs: int = 1, seed: int = 0,
+                 config: Optional[GolfConfig] = None,
+                 base_cost_ns: int = 200):
+        self.config = config or GolfConfig()
+        self.clock = Clock()
+        self.heap = Heap()
+        self.sched = Scheduler(self.heap, self.clock, procs=procs, seed=seed,
+                               base_cost_ns=base_cost_ns)
+        self.reports = ReportLog()
+        self.collector = Collector(self.heap, self.sched, self.clock,
+                                   self.config, self.reports)
+
+    # -- program setup ------------------------------------------------------
+
+    def spawn_main(self, fn: Callable[..., Any], *args: Any) -> Goroutine:
+        """Spawn the main goroutine; :meth:`run` stops when it exits."""
+        return self.sched.spawn(fn, *args, name="main", go_site="<main>")
+
+    def go(self, fn: Callable[..., Any], *args: Any,
+           name: str = "") -> Goroutine:
+        """Spawn a goroutine from host code (outside any goroutine)."""
+        g = self.sched.spawn(fn, *args, name=name, go_site="<host>")
+        if name:
+            g.deadlock_label = name
+        return g
+
+    # -- host-side constructors ----------------------------------------------
+    # These mirror the MakeChan/NewMutex/... instructions for code that
+    # builds state before the program runs (tests, experiment setup).
+
+    def make_chan(self, capacity: int = 0, label: str = "") -> Channel:
+        ch = Channel(capacity, label=label)
+        self.heap.allocate(ch)
+        ch.make_site = "<host>"
+        return ch
+
+    def new_mutex(self, label: str = "") -> Mutex:
+        m = Mutex(label=label)
+        self.heap.allocate(m)
+        return m
+
+    def new_rwmutex(self, label: str = "") -> RWMutex:
+        m = RWMutex(label=label)
+        self.heap.allocate(m)
+        return m
+
+    def new_waitgroup(self, label: str = "") -> WaitGroup:
+        wg = WaitGroup(label=label)
+        self.heap.allocate(wg)
+        return wg
+
+    def new_cond(self, locker: Mutex) -> Cond:
+        cond = Cond(locker)
+        self.heap.allocate(cond)
+        return cond
+
+    def new_pool(self, new=None) -> Pool:
+        """Allocate a ``sync.Pool`` (GC empties it across cycles)."""
+        pool = Pool(new=new)
+        self.heap.allocate(pool)
+        return pool
+
+    def alloc(self, obj: HeapObject) -> HeapObject:
+        """Allocate a user object from host code."""
+        return self.heap.allocate(obj)
+
+    def set_global(self, name: str, value: Any) -> None:
+        """Register a package-level (always reachable) variable."""
+        self.heap.globals.set(name, value)
+
+    def get_global(self, name: str, default: Any = None) -> Any:
+        return self.heap.globals.get(name, default)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, until_ns: Optional[int] = None,
+            max_instructions: Optional[int] = None) -> str:
+        """Run the scheduler; see :meth:`Scheduler.run` for semantics."""
+        return self.sched.run(until_ns=until_ns,
+                              max_instructions=max_instructions)
+
+    def run_for(self, duration_ns: int,
+                max_instructions: Optional[int] = None) -> str:
+        """Run for ``duration_ns`` more virtual nanoseconds."""
+        return self.run(until_ns=self.clock.now + duration_ns,
+                        max_instructions=max_instructions)
+
+    def gc(self, reason: str = "forced") -> CycleStats:
+        """Force one full collection cycle immediately."""
+        return self.collector.collect(reason=reason)
+
+    def gc_until_quiescent(self, max_cycles: int = 10) -> List[CycleStats]:
+        """Collect repeatedly until a cycle detects and reclaims nothing.
+
+        The two-cycle recovery protocol means a single forced GC reports
+        deadlocks but reclaims them only on the next cycle; this helper
+        drives cycles to completion (useful at program end, like the
+        paper's microbenchmark template that forces GC before exit).
+        """
+        cycles: List[CycleStats] = []
+        for _ in range(max_cycles):
+            cs = self.gc()
+            cycles.append(cs)
+            if cs.deadlocks_detected == 0 and cs.goroutines_reclaimed == 0:
+                break
+        return cycles
+
+    def enable_periodic_gc(self, interval_ns: int = 100 * MILLISECOND) -> None:
+        """Spawn a system goroutine forcing a GC every ``interval_ns``.
+
+        The analog of the paper's "strategically injected calls to the
+        GC" (section 6.2) and of Go's 2-minute forced GC.
+        """
+
+        def forcegc_loop():
+            while True:
+                yield Sleep(interval_ns)
+                yield RunGC()
+
+        self.sched.spawn(forcegc_loop, name="forcegc", system=True,
+                         go_site="<runtime>")
+
+    def shutdown(self) -> None:
+        """Tear down the simulated process.
+
+        Force-closes the suspended bodies of reclaimed goroutines (their
+        deferred code never ran during the simulation, matching GOLF;
+        at teardown the frames are unwound — any instruction a
+        ``finally`` block tries to yield is simply discarded).  Optional:
+        only needed to silence CPython's generator-finalization warnings
+        when a runtime with reclaimed goroutines is dropped.
+        """
+        for gen in self.sched._reclaimed_bodies:
+            for _ in range(64):  # a finally may yield several times
+                try:
+                    gen.close()
+                    break
+                except RuntimeError:
+                    continue  # "generator ignored GeneratorExit"
+                except BaseException:
+                    break
+        self.sched._reclaimed_bodies.clear()
+
+    def enable_tracing(self, capacity: int = 100_000):
+        """Turn on GODEBUG-style event tracing; returns the tracer.
+
+        Events (goroutine lifecycle, GC cycles, deadlock reports) are
+        recorded with virtual timestamps; read them via
+        ``rt.tracer.events`` or ``rt.tracer.format()``.
+        """
+        from repro.runtime.tracing import Tracer
+
+        tracer = Tracer(self.clock, capacity=capacity)
+        self.sched.tracer = tracer
+        return tracer
+
+    @property
+    def tracer(self):
+        return self.sched.tracer
+
+    # -- introspection ---------------------------------------------------------
+
+    def memstats(self) -> MemStats:
+        """Snapshot runtime memory/GC metrics (``runtime.MemStats``)."""
+        stats = self.collector.stats
+        heap_inuse = sum(
+            _round_up(obj.size, 16) for obj in self.heap.objects()
+        )
+        elapsed_cpu_ns = max(1, self.clock.now) * len(self.sched.procs)
+        return MemStats(
+            heap_alloc=self.heap.live_bytes,
+            heap_inuse=heap_inuse,
+            heap_objects=self.heap.live_objects,
+            stack_inuse=self.sched.stack_inuse_bytes(),
+            total_alloc=self.heap.total_alloc_bytes,
+            num_gc=stats.num_gc,
+            pause_total_ns=stats.pause_total_ns,
+            gc_cpu_fraction=min(1.0, stats.gc_cpu_ns() / elapsed_cpu_ns),
+            num_goroutine=len(self.sched.user_goroutines()),
+            blocked_goroutines=len(self.sched.blocked_goroutines()),
+        )
+
+    def goroutines(self) -> List[Goroutine]:
+        return self.sched.live_goroutines()
+
+    def check_invariants(self) -> List[str]:
+        """Sweep internal state for impossible configurations.
+
+        Returns human-readable violations (empty list = healthy); see
+        :mod:`repro.runtime.invariants`.
+        """
+        from repro.runtime.invariants import check_invariants
+
+        return check_invariants(self)
+
+    def blocked_goroutine_count(self) -> int:
+        """Goroutines currently blocked (waiting or kept-deadlocked) —
+        the series plotted in the paper's Figure 1."""
+        return sum(
+            1 for g in self.sched.allgs
+            if g.status in (GStatus.WAITING, GStatus.DEADLOCKED,
+                            GStatus.PENDING_RECLAIM) and not g.is_system
+        )
+
+    @property
+    def deadlock_reports(self) -> ReportLog:
+        return self.reports
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align

@@ -1,0 +1,38 @@
+"""Virtual time.
+
+All scheduling, sleeping, GC pauses and performance metrics run on a
+virtual nanosecond clock, so experiments are deterministic for a given
+seed and independent of host machine speed.
+"""
+
+from __future__ import annotations
+
+#: Nanoseconds per microsecond/millisecond/second, for readable durations.
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+MINUTE = 60 * SECOND
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+
+
+class Clock:
+    """A monotonically advancing virtual clock (nanoseconds)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def advance(self, ns: int) -> int:
+        """Move time forward by ``ns`` nanoseconds; returns the new time."""
+        if ns < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += ns
+        return self.now
+
+    def advance_to(self, t: int) -> int:
+        """Move time forward to absolute time ``t`` (no-op if in the past)."""
+        if t > self.now:
+            self.now = t
+        return self.now

@@ -1,0 +1,460 @@
+"""The instruction set executed by simulated goroutines.
+
+A goroutine body is a Python generator that *yields instructions* to the
+scheduler, which executes them and resumes the generator with the result.
+Each yield is a scheduling point, mirroring how Go's concurrency
+operations are cooperative preemption points.
+
+A body that needs to call a helper which itself performs concurrency
+operations writes the helper as a generator and delegates with
+``yield from`` — the scheduler transparently follows the delegation chain,
+and the garbage collector scans the locals of every frame in the chain as
+the goroutine's stack.
+
+Example (the paper's Listing 7 leak)::
+
+    def send_email(rt):
+        done = yield MakeChan(0)
+        def task():
+            ...                      # asynchronous work
+            yield Send(done, ())     # deferred send; leaks if unreceived
+        yield Go(task)
+        return done
+
+    def handle_request(rt):
+        yield from send_email(rt)    # channel never received from
+
+Results (sent back into the generator):
+
+=================== =====================================================
+Instruction          Result
+=================== =====================================================
+``MakeChan``         the new :class:`~repro.runtime.channel.Channel`
+``Send``             ``None``
+``Recv``             ``(value, ok)`` tuple
+``Select``           ``(case_index, value, ok)``; default case yields
+                     ``(DEFAULT_CASE, None, False)``
+``Go``               the spawned :class:`~repro.runtime.goroutine.Goroutine`
+``Alloc``            the allocated object (same one passed in)
+``Now``              current virtual time in nanoseconds
+others               ``None``
+=================== =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.runtime.objects import HeapObject
+
+#: Case index reported by ``Select`` when the default case ran.
+DEFAULT_CASE = -1
+
+
+class Instruction:
+    """Base class for everything a goroutine body may yield."""
+
+    __slots__ = ()
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        """Heap objects referenced by this instruction's operands.
+
+        These count as stack references of the yielding goroutine while
+        the instruction is pending (e.g. the value being sent sits on the
+        sender's stack).
+        """
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# Channels
+# ---------------------------------------------------------------------------
+
+
+class MakeChan(Instruction):
+    """Allocate a channel: ``make(chan T, capacity)``.
+
+    ``capacity == 0`` creates an unbuffered channel.
+    """
+
+    __slots__ = ("capacity", "label")
+
+    def __init__(self, capacity: int = 0, label: str = ""):
+        if capacity < 0:
+            raise ValueError("channel capacity must be non-negative")
+        self.capacity = capacity
+        self.label = label
+
+
+class Send(Instruction):
+    """``ch <- value``. Blocks per channel semantics. ``ch=None`` is a nil
+    channel send, which blocks forever."""
+
+    __slots__ = ("channel", "value")
+
+    def __init__(self, channel: Optional[HeapObject], value: Any = None):
+        self.channel = channel
+        self.value = value
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        refs = []
+        if self.channel is not None:
+            refs.append(self.channel)
+        if isinstance(self.value, HeapObject):
+            refs.append(self.value)
+        return tuple(refs)
+
+
+class Recv(Instruction):
+    """``<-ch``; resolves to ``(value, ok)``. ``ch=None`` blocks forever."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Optional[HeapObject]):
+        self.channel = channel
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.channel,) if self.channel is not None else ()
+
+
+class Close(Instruction):
+    """``close(ch)``. Panics on nil or already-closed channels."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Optional[HeapObject]):
+        self.channel = channel
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.channel,) if self.channel is not None else ()
+
+
+class SendCase:
+    """A ``case ch <- value`` arm of a select statement."""
+
+    __slots__ = ("channel", "value")
+
+    def __init__(self, channel: Optional[HeapObject], value: Any = None):
+        self.channel = channel
+        self.value = value
+
+
+class RecvCase:
+    """A ``case x := <-ch`` arm of a select statement."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Optional[HeapObject]):
+        self.channel = channel
+
+
+class Select(Instruction):
+    """A ``select`` statement over the given cases.
+
+    With ``default=True`` the select never blocks; if no case is ready the
+    result is ``(DEFAULT_CASE, None, False)``.  A select with zero cases
+    and no default blocks forever (wait reason ``SELECT_NO_CASES``).
+    """
+
+    __slots__ = ("cases", "default")
+
+    def __init__(self, cases: Sequence[Any], default: bool = False):
+        self.cases = tuple(cases)
+        self.default = default
+        for case in self.cases:
+            if not isinstance(case, (SendCase, RecvCase)):
+                raise TypeError(f"not a select case: {case!r}")
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        refs = []
+        for case in self.cases:
+            if case.channel is not None:
+                refs.append(case.channel)
+            if isinstance(case, SendCase) and isinstance(case.value, HeapObject):
+                refs.append(case.value)
+        return tuple(refs)
+
+
+# ---------------------------------------------------------------------------
+# sync package
+# ---------------------------------------------------------------------------
+
+
+class NewMutex(Instruction):
+    """Allocate a ``sync.Mutex``."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str = ""):
+        self.label = label
+
+
+class NewRWMutex(Instruction):
+    """Allocate a ``sync.RWMutex``."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str = ""):
+        self.label = label
+
+
+class NewWaitGroup(Instruction):
+    """Allocate a ``sync.WaitGroup``."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str = ""):
+        self.label = label
+
+
+class NewCond(Instruction):
+    """Allocate a ``sync.Cond`` bound to ``locker`` (a Mutex)."""
+
+    __slots__ = ("locker",)
+
+    def __init__(self, locker: HeapObject):
+        self.locker = locker
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.locker,)
+
+
+class NewOnce(Instruction):
+    """Allocate a ``sync.Once``."""
+
+    __slots__ = ()
+
+
+class _OneOperand(Instruction):
+    __slots__ = ("target",)
+
+    def __init__(self, target: HeapObject):
+        self.target = target
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.target,)
+
+
+class Lock(_OneOperand):
+    """``m.Lock()`` — blocks while the mutex is held."""
+
+
+class Unlock(_OneOperand):
+    """``m.Unlock()`` — panics if the mutex is not held."""
+
+
+class RLock(_OneOperand):
+    """``m.RLock()`` on a RWMutex."""
+
+
+class RUnlock(_OneOperand):
+    """``m.RUnlock()`` on a RWMutex."""
+
+
+class WgAdd(Instruction):
+    """``wg.Add(delta)``; panics if the counter goes negative."""
+
+    __slots__ = ("waitgroup", "delta")
+
+    def __init__(self, waitgroup: HeapObject, delta: int = 1):
+        self.waitgroup = waitgroup
+        self.delta = delta
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.waitgroup,)
+
+
+class WgDone(_OneOperand):
+    """``wg.Done()``."""
+
+
+class WgWait(_OneOperand):
+    """``wg.Wait()`` — blocks until the counter reaches zero."""
+
+
+class CondWait(_OneOperand):
+    """``c.Wait()`` — atomically releases the locker and blocks; on wake,
+    reacquires the locker before resuming."""
+
+
+class CondSignal(_OneOperand):
+    """``c.Signal()`` — wakes one waiter if any."""
+
+
+class CondBroadcast(_OneOperand):
+    """``c.Broadcast()`` — wakes all waiters."""
+
+
+class OnceDo(Instruction):
+    """``once.Do(fn)`` with a plain (non-blocking) Python callable."""
+
+    __slots__ = ("once", "fn")
+
+    def __init__(self, once: HeapObject, fn: Callable[[], None]):
+        self.once = once
+        self.fn = fn
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.once,)
+
+
+class SemAcquire(_OneOperand):
+    """Low-level semaphore acquire (blocks while the count is zero)."""
+
+
+class SemRelease(_OneOperand):
+    """Low-level semaphore release (wakes one waiter, if any)."""
+
+
+class NewSema(Instruction):
+    """Allocate a low-level semaphore with the given initial count."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int = 0):
+        self.count = count
+
+
+# ---------------------------------------------------------------------------
+# Scheduling, time, memory
+# ---------------------------------------------------------------------------
+
+
+class Go(Instruction):
+    """Spawn a goroutine: ``go fn(*args)``.
+
+    ``fn`` must be a generator function taking ``*args``; the spawn site
+    (file:line of the yield) is recorded on the new goroutine for
+    deduplicated deadlock reports.  ``name`` overrides the display name.
+    """
+
+    __slots__ = ("fn", "args", "name")
+
+    def __init__(self, fn: Callable[..., Any], *args: Any, name: str = ""):
+        self.fn = fn
+        self.args = args
+        self.name = name
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return tuple(a for a in self.args if isinstance(a, HeapObject))
+
+
+class Sleep(Instruction):
+    """``time.Sleep(ns)`` in virtual nanoseconds (wait reason SLEEP,
+    which GOLF treats as always live)."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise ValueError("sleep duration must be non-negative")
+        self.ns = ns
+
+
+class IoWait(Instruction):
+    """A blocking system call (network/disk IO) of ``ns`` virtual
+    nanoseconds.
+
+    Parks with wait reason ``IO_WAIT``: goroutines blocked at system
+    calls are deemed runnable for liveness (paper §4.1) and are never
+    deadlock candidates, but goleak's full output does flag them — the
+    category the paper excludes from its comparison.
+    """
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise ValueError("IO duration must be non-negative")
+        self.ns = ns
+
+
+class Gosched(Instruction):
+    """``runtime.Gosched()`` — yield the processor, stay runnable."""
+
+    __slots__ = ()
+
+
+class Work(Instruction):
+    """Non-preemptible CPU work of ``units`` simulated microseconds.
+
+    The executing goroutine holds its virtual processor for the whole
+    duration, so under ``GOMAXPROCS=1`` other goroutines cannot interleave
+    — this is how core-count-sensitive races are expressed.
+    """
+
+    __slots__ = ("units",)
+
+    def __init__(self, units: int = 1):
+        if units <= 0:
+            raise ValueError("work units must be positive")
+        self.units = units
+
+
+class Alloc(Instruction):
+    """Allocate a user heap object (Box, Struct, Slice, GoMap, Blob...)."""
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: HeapObject):
+        self.obj = obj
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.obj,)
+
+
+class SetFinalizer(Instruction):
+    """``runtime.SetFinalizer(obj, fn)``."""
+
+    __slots__ = ("obj", "fn")
+
+    def __init__(self, obj: HeapObject, fn: Callable[[HeapObject], None]):
+        self.obj = obj
+        self.fn = fn
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.obj,)
+
+
+class RunGC(Instruction):
+    """``runtime.GC()`` — force a full collection cycle now."""
+
+    __slots__ = ()
+
+
+class Now(Instruction):
+    """Read the virtual clock (nanoseconds)."""
+
+    __slots__ = ()
+
+
+class SetGlobal(Instruction):
+    """Register a value in global data (package-level variable)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Any):
+        self.name = name
+        self.value = value
+
+    def heap_refs(self) -> Tuple[HeapObject, ...]:
+        return (self.value,) if isinstance(self.value, HeapObject) else ()
+
+
+class GetGlobal(Instruction):
+    """Read a value from global data."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Panic(Instruction):
+    """``panic(message)`` — unwinds the goroutine and (unrecovered)
+    crashes the simulated program."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message

@@ -1,0 +1,471 @@
+"""The goroutine scheduler: a discrete-event simulation with virtual cores.
+
+The scheduler owns ``GOMAXPROCS`` virtual processors.  Dispatching a
+runnable goroutine onto an idle processor resumes its generator to fetch
+the next instruction; the processor stays busy for the instruction's
+simulated duration, and the instruction's *effect* is applied at
+completion time.  Long non-preemptible work (:class:`Work`) therefore
+really does monopolize a processor, which is how interleaving- and
+core-count-sensitive leak patterns (the paper's flaky microbenchmarks)
+arise naturally.
+
+Randomness — run-queue selection, instruction-cost jitter, select-case
+choice — flows from a single seeded RNG, so every run is reproducible
+from ``(program, procs, seed)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import inspect
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple  # noqa: F401
+
+from repro.errors import (
+    GlobalDeadlockError,
+    GoPanic,
+    InvalidInstruction,
+    SchedulerError,
+)
+from repro.runtime import executor
+from repro.runtime.channel import Wakeup
+from repro.runtime.clock import Clock
+from repro.runtime.goroutine import GStatus, Goroutine
+from repro.runtime.instructions import Instruction, RunGC, Sleep, Work
+from repro.runtime.objects import HeapObject
+from repro.runtime.sema import SemaTable
+from repro.runtime.sync import Mutex
+from repro.runtime.waitreason import WaitReason
+from repro.gc.heap import Heap
+
+
+class RunStatus:
+    """Terminal states of :meth:`Scheduler.run`."""
+
+    MAIN_EXITED = "main-exited"
+    TIMEOUT = "timeout"
+    IDLE = "idle"
+    INSTRUCTION_LIMIT = "instruction-limit"
+
+
+class _Proc:
+    """A virtual processor (Go's ``P``)."""
+
+    __slots__ = ("pid", "g", "instr", "busy_until")
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.g: Optional[Goroutine] = None
+        self.instr: Optional[Instruction] = None
+        self.busy_until = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.g is None
+
+
+class Scheduler:
+    """Schedules goroutines over ``procs`` virtual processors.
+
+    Args:
+        heap: the simulated heap (goroutine descriptors are allocated on
+            it, pinned, since the runtime manages their lifecycle).
+        clock: shared virtual clock.
+        procs: GOMAXPROCS.
+        seed: RNG seed; all scheduling non-determinism derives from it.
+        base_cost_ns: simulated duration of an ordinary instruction.
+    """
+
+    def __init__(self, heap: Heap, clock: Clock, procs: int = 1,
+                 seed: int = 0, base_cost_ns: int = 200):
+        if procs < 1:
+            raise ValueError("need at least one virtual processor")
+        self.heap = heap
+        self.clock = clock
+        self.rng = random.Random(seed)
+        self.semtable = SemaTable(random.Random(seed ^ 0x5EAA))
+        self.procs = [_Proc(i) for i in range(procs)]
+        self.base_cost_ns = base_cost_ns
+
+        self.allgs: List[Goroutine] = []
+        self.gfree: List[Goroutine] = []
+        self.runq: List[Goroutine] = []
+        self._timers: List[Tuple[int, int, Goroutine]] = []
+        self._timer_seq = 0
+        self._next_goid = 1
+        self.main_g: Optional[Goroutine] = None
+        self._main_exited = False
+        self.crashed: Optional[Tuple[Goroutine, BaseException]] = None
+        self.instructions_executed = 0
+        self.goroutines_spawned = 0
+        self.goroutines_reused = 0
+        #: Total processor-busy nanoseconds (mutator CPU time).
+        self.cpu_busy_ns = 0
+        #: Cond waiters that must reacquire their locker on wake.
+        self._relock: Dict[int, Mutex] = {}
+        #: Suspended bodies of forcibly reclaimed goroutines.  They are
+        #: retained, never closed: if CPython finalized these frames it
+        #: would run their ``finally`` blocks — the ``defer`` analog —
+        #: but GOLF's forced shutdown must never execute deferred code.
+        self._reclaimed_bodies: List[Any] = []
+
+        # Hooks wired by the Runtime facade.
+        self.gc_hook: Callable[[str], Any] = lambda reason: None
+        self.alloc_hook: Callable[[], None] = lambda: None
+        #: Address-masking policy (identity unless GOLF installs one).
+        self.mask_key: Callable[[int], int] = lambda addr: addr
+        #: Optional event tracer (see repro.runtime.tracing).
+        self.tracer = None
+        #: Optional select-case policy override (see repro.fuzz): called
+        #: with the list of ready case indices, returns the chosen one.
+        self.select_policy: Optional[Callable[[List[int]], int]] = None
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+
+    def spawn(self, fn: Callable[..., Any], *args: Any, name: str = "",
+              system: bool = False, go_site: str = "",
+              parent: Optional[Goroutine] = None) -> Goroutine:
+        """Create a goroutine running ``fn(*args)``.
+
+        Reuses a descriptor from the free pool when available, matching
+        the Go runtime's ``*g`` recycling (paper, section 5.4).
+        """
+        gen = fn(*args)
+        if not inspect.isgenerator(gen):
+            raise TypeError(
+                f"goroutine body must be a generator function, got {fn!r}"
+            )
+        if self.gfree:
+            g = self.gfree.pop()
+            self.goroutines_reused += 1
+        else:
+            g = Goroutine(goid=0)
+            self.heap.allocate(g, pinned=True)
+            self.allgs.append(g)
+        g.goid = self._next_goid
+        self._next_goid += 1
+        g.bind(gen, go_site=go_site,
+               parent_goid=parent.goid if parent else 0, name=name)
+        g.name = name or f"goroutine-{g.goid}"
+        g.is_system = system
+        self.goroutines_spawned += 1
+        if parent is not None:
+            parent.spawned += 1
+        self.runq.append(g)
+        if self.main_g is None and not system:
+            self.main_g = g
+        if self.tracer is not None:
+            self.tracer.emit("go-create", g.goid,
+                             f"{g.name} at {go_site}")
+        return g
+
+    # ------------------------------------------------------------------
+    # Park / wake primitives
+    # ------------------------------------------------------------------
+
+    def park(self, g: Goroutine, reason: WaitReason,
+             blocked_on: Tuple[HeapObject, ...],
+             blocking_sema: Optional[HeapObject] = None) -> None:
+        """Transition ``g`` to WAITING with ``B(g) = blocked_on``."""
+        g.status = GStatus.WAITING
+        g.wait_reason = reason
+        g.blocked_on = blocked_on
+        g.blocking_sema = blocking_sema
+        if self.tracer is not None:
+            self.tracer.emit("go-park", g.goid, reason.value)
+
+    def park_on_timer(self, g: Goroutine, wake_at: int,
+                      reason: WaitReason = WaitReason.SLEEP) -> None:
+        """Park ``g`` until virtual time ``wake_at`` (non-detectable)."""
+        self.park(g, reason, ())
+        g.wake_at = wake_at
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (wake_at, self._timer_seq, g))
+
+    def wake(self, g: Goroutine, result: Any = None,
+             exc: Optional[BaseException] = None) -> None:
+        """Make a parked goroutine runnable, delivering ``result``/``exc``."""
+        if g.status in (GStatus.PENDING_RECLAIM, GStatus.DEADLOCKED):
+            raise SchedulerError(
+                f"wakeup for goroutine reported deadlocked: {g!r} — "
+                "GOLF soundness violation"
+            )
+        if g.status != GStatus.WAITING:
+            raise SchedulerError(f"cannot wake non-waiting goroutine {g!r}")
+        for sd in g.sudogs:
+            sd.active = False
+        g.sudogs = []
+        g.blocked_on = ()
+        g.wait_reason = None
+        g.blocking_sema = None
+        g.wake_at = None
+        g.pending_value = result
+        g.pending_exc = exc
+        g.status = GStatus.RUNNABLE
+        self.runq.append(g)
+        if self.tracer is not None:
+            self.tracer.emit("go-wake", g.goid)
+
+    def apply_wakeups(self, wakeups: List[Wakeup]) -> None:
+        """Resume the goroutines behind channel wakeup records.
+
+        Translates per-sudog results into per-instruction results: a
+        goroutine parked in a ``select`` receives ``(index, value, ok)``
+        for the case that fired.
+        """
+        for w in wakeups:
+            sd = w.sudog
+            if not sd.active:
+                continue
+            g = sd.g
+            if sd.select_index is None:
+                self.wake(g, result=w.result, exc=w.exc)
+                continue
+            if w.exc is not None:
+                self.wake(g, exc=w.exc)
+            elif sd.is_send:
+                self.wake(g, result=(sd.select_index, None, True))
+            else:
+                value, ok = w.result
+                self.wake(g, result=(sd.select_index, value, ok))
+
+    def wake_with_relock(self, g: Goroutine, locker: Mutex) -> None:
+        """Wake a ``Cond`` waiter, which must reacquire its locker first.
+
+        If the locker is contended the goroutine transitions directly to
+        blocking on the mutex (wait reason changes from ``SYNC_COND_WAIT``
+        to ``SYNC_MUTEX_LOCK``), as in Go.
+        """
+        if g.status != GStatus.WAITING:
+            raise SchedulerError(f"cannot wake non-waiting goroutine {g!r}")
+        if locker.try_lock():
+            self.wake(g, result=None)
+            return
+        g.wait_reason = WaitReason.SYNC_MUTEX_LOCK
+        g.blocked_on = (locker,)
+        g.blocking_sema = locker
+        self.semtable.enqueue(self.mask_key(locker.sema_key()), g)
+
+    # ------------------------------------------------------------------
+    # Goroutine termination
+    # ------------------------------------------------------------------
+
+    def finish(self, g: Goroutine, value: Any = None) -> None:
+        """Regular goroutine exit; descriptor returns to the free pool."""
+        g.finished_value = value
+        g.finish()
+        self.gfree.append(g)
+        if self.tracer is not None:
+            self.tracer.emit("go-end", g.goid)
+        if g is self.main_g:
+            self._main_exited = True
+
+    def reclaim_deadlocked(self, g: Goroutine) -> None:
+        """GOLF forced shutdown of a deadlocked goroutine.
+
+        Purges scheduler-side state the regular exit path never has to
+        think about: semaphore-table entries and (via
+        ``cleanup_after_deadlock``) sudogs, masks and wait bookkeeping.
+        The body generator is dropped unresumed — deferred code must not
+        run.
+        """
+        self.semtable.remove_goroutine(g)
+        self._relock.pop(g.goid, None)
+        if g.gen is not None:
+            self._reclaimed_bodies.append(g.gen)
+        g.cleanup_after_deadlock()
+        self.gfree.append(g)
+        if self.tracer is not None:
+            self.tracer.emit("go-reclaim", g.goid)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def live_goroutines(self) -> List[Goroutine]:
+        """All goroutines that are not dead (includes kept-deadlocked)."""
+        return [g for g in self.allgs if g.status != GStatus.DEAD]
+
+    def user_goroutines(self) -> List[Goroutine]:
+        return [g for g in self.live_goroutines() if not g.is_system]
+
+    def blocked_goroutines(self) -> List[Goroutine]:
+        return [g for g in self.allgs if g.status == GStatus.WAITING]
+
+    def detectably_blocked(self) -> List[Goroutine]:
+        return [g for g in self.allgs if g.is_blocked_detectably]
+
+    def stack_inuse_bytes(self) -> int:
+        return sum(g.stack_bytes for g in self.live_goroutines())
+
+    @property
+    def main_exited(self) -> bool:
+        return self._main_exited
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def run(self, until_ns: Optional[int] = None,
+            max_instructions: Optional[int] = None) -> str:
+        """Run until main exits, a deadline passes, or nothing can happen.
+
+        Returns one of the :class:`RunStatus` values.  Panics escaping a
+        goroutine crash the whole program and re-raise here, as Go's
+        fatal panic does.
+        """
+        while True:
+            if self.crashed is not None:
+                _, exc = self.crashed
+                raise exc
+            if self._main_exited:
+                return RunStatus.MAIN_EXITED
+            if (max_instructions is not None
+                    and self.instructions_executed >= max_instructions):
+                return RunStatus.INSTRUCTION_LIMIT
+
+            self._wake_due_timers()
+            self._dispatch_idle_procs()
+            if self.crashed is not None or self._main_exited:
+                continue  # re-run the terminal checks at the loop top
+
+            busy = [p for p in self.procs if not p.idle]
+            if busy:
+                t_next = min(p.busy_until for p in busy)
+                # A timer may fire before any instruction completes; wake
+                # at the earlier event so sleepers can use idle processors.
+                if self._timers and self._timers[0][0] < t_next:
+                    t_next = self._timers[0][0]
+                if until_ns is not None and t_next > until_ns:
+                    self.clock.advance_to(until_ns)
+                    return RunStatus.TIMEOUT
+                self.clock.advance_to(t_next)
+                for p in busy:
+                    if p.busy_until <= self.clock.now:
+                        self._complete(p)
+                continue
+
+            # No processor is busy: either jump to the next timer or stop.
+            if self._timers:
+                t = self._timers[0][0]
+                if until_ns is not None and t > until_ns:
+                    self.clock.advance_to(until_ns)
+                    return RunStatus.TIMEOUT
+                self.clock.advance_to(t)
+                continue
+            if self.runq:
+                continue  # dispatch again (procs freed this iteration)
+            waiting_user = [
+                g for g in self.allgs
+                if g.status == GStatus.WAITING and not g.is_system
+            ]
+            if waiting_user:
+                raise GlobalDeadlockError(
+                    len(waiting_user), dump=self._deadlock_dump(waiting_user))
+            return RunStatus.IDLE
+
+    def _deadlock_dump(self, goroutines: List[Goroutine]) -> str:
+        """Per-goroutine dump attached to the fatal global-deadlock
+        error, like the stack listing Go prints after the fatal line."""
+        lines = []
+        for g in goroutines:
+            reason = g.wait_reason.value if g.wait_reason else "waiting"
+            lines.append(f"goroutine {g.goid} [{reason}]:")
+            for frame in g.stack_trace() or ["<no stack>"]:
+                lines.append(f"\t{frame}")
+            lines.append(f"created by {g.go_site}")
+        return "\n".join(lines)
+
+    def _wake_due_timers(self) -> None:
+        while self._timers and self._timers[0][0] <= self.clock.now:
+            _, _, g = heapq.heappop(self._timers)
+            # The goroutine may have been reclaimed or re-parked since.
+            if g.status == GStatus.WAITING and g.wake_at is not None:
+                self.wake(g, result=None)
+
+    def _dispatch_idle_procs(self) -> None:
+        for p in self.procs:
+            # A dispatched goroutine may finish (or crash) instantly
+            # without occupying the processor; keep pulling runnable
+            # goroutines until the processor is genuinely busy, so an
+            # idle processor always implies an empty run queue.
+            while p.idle and self.runq and self.crashed is None:
+                idx = self.rng.randrange(len(self.runq))
+                self.runq[idx], self.runq[-1] = self.runq[-1], self.runq[idx]
+                g = self.runq.pop()
+                self._start_instruction(p, g)
+
+    def _start_instruction(self, p: _Proc, g: Goroutine) -> None:
+        g.status = GStatus.RUNNING
+        exc, g.pending_exc = g.pending_exc, None
+        value, g.pending_value = g.pending_value, None
+        try:
+            if exc is not None:
+                instr = g.gen.throw(exc)
+            else:
+                instr = g.gen.send(value)
+        except StopIteration as stop:
+            self.finish(g, getattr(stop, "value", None))
+            return
+        except GoPanic as panic:
+            self.finish(g)
+            self.crashed = (g, panic)
+            return
+        except Exception as err:  # user bug inside the body
+            self.finish(g)
+            self.crashed = (g, err)
+            return
+        if not isinstance(instr, Instruction):
+            err2 = InvalidInstruction(
+                f"goroutine {g.goid} yielded {instr!r}, not an Instruction"
+            )
+            self.finish(g)
+            self.crashed = (g, err2)
+            return
+        p.g = g
+        p.instr = instr
+        cost = self._cost(instr)
+        p.busy_until = self.clock.now + cost
+        self.cpu_busy_ns += cost
+
+    def _cost(self, instr: Instruction) -> int:
+        if isinstance(instr, Work):
+            return instr.units * 1_000  # units are microseconds
+        if isinstance(instr, (Sleep, RunGC)):
+            return self.base_cost_ns
+        jitter = self.rng.uniform(0.75, 1.25)
+        return max(1, int(self.base_cost_ns * jitter))
+
+    def _complete(self, p: _Proc) -> None:
+        g, instr = p.g, p.instr
+        p.g = None
+        p.instr = None
+        assert g is not None and instr is not None
+        self.instructions_executed += 1
+        try:
+            executor.execute(self, g, instr)
+        except GoPanic as panic:
+            # Synchronous panics (close of closed channel, negative
+            # WaitGroup...) unwind through the goroutine body so its
+            # try/finally blocks (defer analogs) run.
+            self.resume(g, exc=panic)
+
+    def resume(self, g: Goroutine, result: Any = None,
+               exc: Optional[BaseException] = None) -> None:
+        """Re-enqueue a running goroutine with its instruction result."""
+        g.pending_value = result
+        g.pending_exc = exc
+        g.status = GStatus.RUNNABLE
+        self.runq.append(g)
+
+    def stall_all(self, pause_ns: int) -> None:
+        """Stop-the-world: push back every in-flight instruction."""
+        for p in self.procs:
+            if not p.idle:
+                p.busy_until += pause_ns
+
+    def current_site(self, g: Goroutine) -> str:
+        """Source location where ``g``'s body is currently suspended."""
+        return g.block_site()

@@ -1,0 +1,206 @@
+"""Low-level semaphores and the global semaphore table.
+
+Go parks goroutines blocked on ``sync`` primitives in a global *treap*
+(randomized search tree) indexed by semaphore address, with back pointers
+to the blocked goroutines (paper, section 5.4).  GOLF must both mask those
+back pointers during marking (so parked goroutines are not prematurely
+reachable) and purge the entries of goroutines it reclaims.
+
+This module implements a faithful treap keyed by (maskable) semaphore
+addresses.  The table is a *global runtime structure*, not a heap object:
+the collector never traces through it, which is exactly the property the
+paper achieves with address obfuscation — see
+:mod:`repro.core.masking` for the mask bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.runtime.goroutine import Goroutine
+from repro.runtime.objects import WORD_SIZE, HeapObject
+
+
+class Semaphore(HeapObject):
+    """A counting semaphore, the primitive under every ``sync`` type."""
+
+    __slots__ = ("count",)
+    kind = "sema"
+
+    def __init__(self, count: int = 0):
+        if count < 0:
+            raise ValueError("semaphore count must be non-negative")
+        super().__init__(size=WORD_SIZE)
+        self.count = count
+
+
+class _TreapNode:
+    __slots__ = ("key", "priority", "waiters", "left", "right")
+
+    def __init__(self, key: int, priority: int):
+        self.key = key
+        self.priority = priority
+        self.waiters: Deque[Goroutine] = deque()
+        self.left: Optional["_TreapNode"] = None
+        self.right: Optional["_TreapNode"] = None
+
+
+class SemaTable:
+    """The global treap of in-use semaphores.
+
+    Keys are semaphore addresses; under GOLF the stored keys carry the
+    obfuscation mask, but the table is agnostic to that — callers pass
+    whatever key form the masking policy dictates.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._rng = rng or random.Random(0)
+        self._root: Optional[_TreapNode] = None
+        self._size = 0
+
+    # -- treap mechanics ----------------------------------------------------
+
+    def _rotate_right(self, node: _TreapNode) -> _TreapNode:
+        left = node.left
+        assert left is not None
+        node.left = left.right
+        left.right = node
+        return left
+
+    def _rotate_left(self, node: _TreapNode) -> _TreapNode:
+        right = node.right
+        assert right is not None
+        node.right = right.left
+        right.left = node
+        return right
+
+    def _insert(self, node: Optional[_TreapNode], key: int) -> _TreapNode:
+        if node is None:
+            new = _TreapNode(key, self._rng.getrandbits(30))
+            self._found = new
+            return new
+        if key == node.key:
+            self._found = node
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key)
+            if node.left.priority > node.priority:
+                node = self._rotate_right(node)
+        else:
+            node.right = self._insert(node.right, key)
+            if node.right.priority > node.priority:
+                node = self._rotate_left(node)
+        return node
+
+    def _find(self, key: int) -> Optional[_TreapNode]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def _delete(self, node: Optional[_TreapNode],
+                key: int) -> Optional[_TreapNode]:
+        if node is None:
+            return None
+        if key < node.key:
+            node.left = self._delete(node.left, key)
+            return node
+        if key > node.key:
+            node.right = self._delete(node.right, key)
+            return node
+        # Rotate the node down until it is a leaf, then drop it.
+        if node.left is None:
+            return node.right
+        if node.right is None:
+            return node.left
+        if node.left.priority > node.right.priority:
+            node = self._rotate_right(node)
+            node.right = self._delete(node.right, key)
+        else:
+            node = self._rotate_left(node)
+            node.left = self._delete(node.left, key)
+        return node
+
+    # -- public API -----------------------------------------------------------
+
+    def enqueue(self, key: int, g: Goroutine) -> None:
+        """Park ``g`` on the semaphore with table key ``key``."""
+        self._found: Optional[_TreapNode] = None
+        self._root = self._insert(self._root, key)
+        assert self._found is not None
+        self._found.waiters.append(g)
+        self._size += 1
+
+    def dequeue(self, key: int) -> Optional[Goroutine]:
+        """Remove and return the longest-waiting goroutine for ``key``."""
+        node = self._find(key)
+        if node is None or not node.waiters:
+            return None
+        g = node.waiters.popleft()
+        self._size -= 1
+        if not node.waiters:
+            self._root = self._delete(self._root, key)
+        return g
+
+    def waiters(self, key: int) -> List[Goroutine]:
+        node = self._find(key)
+        return list(node.waiters) if node is not None else []
+
+    def remove_goroutine(self, g: Goroutine) -> bool:
+        """Purge every entry for ``g`` (GOLF recovery bookkeeping).
+
+        Returns True if at least one entry was removed.  Needed because a
+        goroutine reclaimed while parked on a ``sync`` primitive would
+        otherwise leave a dangling back pointer in the treap (paper,
+        section 5.4, "Semaphores").
+        """
+        removed = False
+        emptied: List[int] = []
+        for node in self._nodes():
+            before = len(node.waiters)
+            if before:
+                node.waiters = deque(w for w in node.waiters if w is not g)
+                delta = before - len(node.waiters)
+                if delta:
+                    removed = True
+                    self._size -= delta
+                if not node.waiters:
+                    emptied.append(node.key)
+        for key in emptied:
+            self._root = self._delete(self._root, key)
+        return removed
+
+    def rekey(self, old_key: int, new_key: int) -> None:
+        """Move a wait queue to a different key (mask flip support)."""
+        if old_key == new_key:
+            return
+        node = self._find(old_key)
+        if node is None:
+            return
+        waiters = node.waiters
+        self._root = self._delete(self._root, old_key)
+        self._found = None
+        self._root = self._insert(self._root, new_key)
+        assert self._found is not None
+        self._found.waiters.extend(waiters)
+
+    def _nodes(self) -> Iterator[_TreapNode]:
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+
+    def __len__(self) -> int:
+        """Total number of parked goroutines across all semaphores."""
+        return self._size
+
+    def keys(self) -> List[int]:
+        return sorted(node.key for node in self._nodes())

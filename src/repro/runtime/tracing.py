@@ -1,0 +1,75 @@
+"""Runtime event tracing, in the spirit of ``GODEBUG`` logging.
+
+When enabled on a runtime (``rt.enable_tracing()``), the scheduler and
+collector emit structured events — goroutine lifecycle transitions, GC
+cycle summaries, deadlock reports — timestamped on the virtual clock.
+Useful for debugging programs and for the tests that assert scheduler
+behavior without poking at internals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime.clock import Clock
+
+#: Event kinds.
+GO_CREATE = "go-create"
+GO_PARK = "go-park"
+GO_WAKE = "go-wake"
+GO_END = "go-end"
+GO_RECLAIM = "go-reclaim"
+GC_CYCLE = "gc-cycle"
+DEADLOCK = "partial-deadlock"
+
+
+class TraceEvent:
+    """One timestamped runtime event."""
+
+    __slots__ = ("t_ns", "kind", "goid", "detail")
+
+    def __init__(self, t_ns: int, kind: str, goid: int, detail: str):
+        self.t_ns = t_ns
+        self.kind = kind
+        self.goid = goid
+        self.detail = detail
+
+    def format(self) -> str:
+        who = f" g{self.goid}" if self.goid else ""
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.t_ns:>12d}ns] {self.kind}{who}{detail}"
+
+    def __repr__(self) -> str:
+        return f"<{self.format()}>"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records, bounded to ``capacity``."""
+
+    def __init__(self, clock: Clock, capacity: int = 100_000):
+        self.clock = clock
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, kind: str, goid: int = 0, detail: str = "") -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(self.clock.now, kind, goid, detail))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_goroutine(self, goid: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.goid == goid]
+
+    def format(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[-limit:]
+        lines = [event.format() for event in events]
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (capacity)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

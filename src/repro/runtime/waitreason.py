@@ -1,0 +1,67 @@
+"""Wait reasons for blocked goroutines.
+
+The Go runtime decorates every waiting goroutine with a descriptive *wait
+reason* (``runtime.waitReason``).  GOLF uses these to distinguish blocking
+caused by user-level concurrency operations (channels and the ``sync``
+package), which can deadlock, from blocking that is internal to the runtime
+or tied to external events (timers, IO, syscalls), which GOLF conservatively
+treats as always reachably live (paper, section 5.4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class WaitReason(enum.Enum):
+    """Why a goroutine is in the waiting state."""
+
+    # -- Detectable: user-level concurrency operations ------------------
+    CHAN_SEND = "chan send"
+    CHAN_RECEIVE = "chan receive"
+    NIL_CHAN_SEND = "chan send (nil chan)"
+    NIL_CHAN_RECEIVE = "chan receive (nil chan)"
+    SELECT = "select"
+    SELECT_NO_CASES = "select (no cases)"
+    SYNC_MUTEX_LOCK = "sync.Mutex.Lock"
+    SYNC_RWMUTEX_LOCK = "sync.RWMutex.Lock"
+    SYNC_RWMUTEX_RLOCK = "sync.RWMutex.RLock"
+    SYNC_WAITGROUP_WAIT = "sync.WaitGroup.Wait"
+    SYNC_COND_WAIT = "sync.Cond.Wait"
+    SEMACQUIRE = "semacquire"
+
+    # -- Non-detectable: external events or runtime internals -----------
+    SLEEP = "sleep"
+    IO_WAIT = "IO wait"
+    SYSCALL = "syscall"
+    GC_WORKER_IDLE = "GC worker (idle)"
+    FORCE_GC_IDLE = "force gc (idle)"
+    TIMER_GOROUTINE_IDLE = "timer goroutine (idle)"
+
+    @property
+    def is_detectable(self) -> bool:
+        """Whether a goroutine blocked for this reason may be deadlocked.
+
+        Only goroutines blocked on channel operations or ``sync``
+        primitives participate in partial deadlock detection; all others
+        are assumed to be reachably live.
+        """
+        return self in _DETECTABLE
+
+
+_DETECTABLE = frozenset(
+    {
+        WaitReason.CHAN_SEND,
+        WaitReason.CHAN_RECEIVE,
+        WaitReason.NIL_CHAN_SEND,
+        WaitReason.NIL_CHAN_RECEIVE,
+        WaitReason.SELECT,
+        WaitReason.SELECT_NO_CASES,
+        WaitReason.SYNC_MUTEX_LOCK,
+        WaitReason.SYNC_RWMUTEX_LOCK,
+        WaitReason.SYNC_RWMUTEX_RLOCK,
+        WaitReason.SYNC_WAITGROUP_WAIT,
+        WaitReason.SYNC_COND_WAIT,
+        WaitReason.SEMACQUIRE,
+    }
+)

@@ -1,0 +1,32 @@
+"""Service workload simulators for the production-side experiments.
+
+- :mod:`repro.service.controlled` — the paper's Table 2 setup: an RPC
+  server with per-request goroutine fan-out, 100K-entry maps and a
+  controllable "double send" leak rate, exercised by a closed-loop
+  client.
+- :mod:`repro.service.production` — the Table 3 / RQ1(c) setup: a
+  long-running service emitting latency/CPU metrics every three minutes,
+  with the three low-rate ``SendEmail`` leak sites of Listing 7.
+- :mod:`repro.service.longrun` — the Figure 1 setup: weeks of virtual
+  uptime with weekday redeployments that mask the leak until weekends.
+"""
+
+from repro.service.controlled import ControlledConfig, ControlledResult, run_controlled
+from repro.service.longrun import LongRunConfig, LongRunResult, run_longrun
+from repro.service.production import (
+    ProductionConfig,
+    ProductionResult,
+    run_production,
+)
+
+__all__ = [
+    "ControlledConfig",
+    "ControlledResult",
+    "run_controlled",
+    "ProductionConfig",
+    "ProductionResult",
+    "run_production",
+    "LongRunConfig",
+    "LongRunResult",
+    "run_longrun",
+]

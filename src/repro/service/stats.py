@@ -1,0 +1,49 @@
+"""Small statistics helpers for workload metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of an ascending-sorted sequence, with
+    linear interpolation (matches the common latency-percentile usage)."""
+    if not sorted_values:
+        return 0.0
+    if q <= 0:
+        return float(sorted_values[0])
+    if q >= 1:
+        return float(sorted_values[-1])
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = pos - lo
+    return float(sorted_values[lo]) * (1 - frac) + float(sorted_values[hi]) * frac
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Arithmetic mean and population standard deviation."""
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(var)
+
+
+def latency_summary(latencies_ns: List[int]) -> dict:
+    """Percentile table in milliseconds, shaped like the paper's Table 2."""
+    values = sorted(latencies_ns)
+    to_ms = 1e-6
+    return {
+        "count": len(values),
+        "p50_ms": percentile(values, 0.50) * to_ms,
+        "p90_ms": percentile(values, 0.90) * to_ms,
+        "p95_ms": percentile(values, 0.95) * to_ms,
+        "p99_ms": percentile(values, 0.99) * to_ms,
+        "p999_ms": percentile(values, 0.999) * to_ms,
+        "p99995_ms": percentile(values, 0.99995) * to_ms,
+        "max_ms": (values[-1] * to_ms) if values else 0.0,
+    }

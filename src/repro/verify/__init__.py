@@ -1,0 +1,16 @@
+"""Systematic concurrency verification.
+
+Where the property-based suites sample random schedules, this package
+*enumerates* them: every scheduler decision (run-queue pick, select-case
+choice) becomes a branch point, and small programs are executed under
+every reachable interleaving.  Used to verify GOLF's soundness theorem
+exhaustively on distilled programs.
+"""
+
+from repro.verify.explore import (
+    ExplorationResult,
+    ScriptedRandom,
+    explore,
+)
+
+__all__ = ["ExplorationResult", "ScriptedRandom", "explore"]

@@ -1,0 +1,113 @@
+"""Tests for the artifact-appendix testing harness."""
+
+import os
+
+import pytest
+
+from repro.artifact import Annotation, TesterConfig, TesterReport, run_tester
+from repro.microbench.registry import benchmarks_by_name
+
+
+class TestAnnotation:
+    def test_at_least_one_form(self):
+        ann = Annotation("site:1")
+        assert ann.expectation() == "x > 0"
+        assert ann.satisfied_by(1) and ann.satisfied_by(5)
+        assert not ann.satisfied_by(0)
+
+    def test_exact_form(self):
+        ann = Annotation("site:2", exact=3)
+        assert ann.expectation() == "3"
+        assert ann.satisfied_by(3)
+        assert not ann.satisfied_by(2)
+
+
+class TestConfig:
+    def test_match_filters_by_regex(self):
+        config = TesterConfig(match=r"^grpc/3017$")
+        table = benchmarks_by_name()
+        selected = config.selected(list(table.values()))
+        assert {b.name for b in selected} == {"grpc/3017"}
+        broad = TesterConfig(match=r"^grpc/").selected(list(table.values()))
+        assert all(b.name.startswith("grpc/") for b in broad)
+        assert {"grpc/1460", "grpc/3017"} <= {b.name for b in broad}
+
+    def test_empty_match_selects_all(self):
+        config = TesterConfig()
+        assert len(config.selected(list(benchmarks_by_name().values()))) == 73
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            TesterConfig(repeats=0)
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = TesterConfig(match=r"cgo/|grpc/3017", repeats=3,
+                              procs_list=(1, 2))
+        return run_tester(config)
+
+    def test_deterministic_sites_fully_detected(self, report):
+        row = report.rows["cgo/sendmail:105"]
+        assert row.always_detected
+
+    def test_core_sensitivity_visible(self, report):
+        row = report.rows["grpc/3017:71"]
+        assert row.per_procs[1] == 0
+        assert row.per_procs[2] == 3
+
+    def test_no_unexpected_or_failures(self, report):
+        assert report.unexpected == []
+        assert report.failures == {}
+
+    def test_validate_passes(self, report):
+        assert report.validate() == []
+
+    def test_results_report_shape(self, report):
+        text = report.format_results()
+        assert "Benchmark" in text
+        assert "Remaining" in text
+        assert "Aggregated" in text
+        assert "grpc/3017:71" in text  # flaky rows are listed
+        assert "cgo/sendmail:105" not in text  # 100% rows collapse
+
+    def test_aggregate_bounds(self, report):
+        assert 0.5 < report.aggregated() <= 1.0
+        assert report.aggregated(2) >= report.aggregated(1)
+
+
+class TestPerf:
+    def test_perf_csv(self, tmp_path):
+        config = TesterConfig(match=r"cgo/double-send", repeats=2,
+                              procs_list=(1,), perf=True)
+        report = run_tester(config)
+        assert len(report.perf_rows) == 1
+        row = report.perf_rows[0]
+        # GOLF's marking is unburdened on this leaky benchmark.
+        assert row.mark_clock_on_us <= row.mark_clock_off_us
+        csv_text = report.format_perf_csv()
+        assert "Mark clock OFF (us)" in csv_text
+        assert "cgo/double-send" in csv_text
+
+        results = tmp_path / "results"
+        perf = tmp_path / "results-perf.csv"
+        report.write(str(results), str(perf))
+        assert results.exists() and perf.exists()
+
+    def test_write_without_perf(self, tmp_path):
+        config = TesterConfig(match=r"cgo/double-send", repeats=1,
+                              procs_list=(1,))
+        report = run_tester(config)
+        results = tmp_path / "results"
+        report.write(str(results))
+        assert "Aggregated" in results.read_text()
+
+
+class TestCliIntegration:
+    def test_tester_subcommand(self, capsys):
+        from repro.cli import main
+        assert main(["tester", "--match", "cgo/sendmail",
+                     "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregated" in out

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface (fast, scaled-down invocations)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "table3", "figure1",
+                        "figure3", "figure4", "rq1b", "rq1c",
+                        "ablations", "all"):
+            args = parser.parse_args(
+                [command] if command in ("ablations",)
+                else [command])
+            assert args.command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.runs == 30
+        assert args.out is None
+
+
+class TestExecution:
+    def test_rq1b_prints_ratios(self, capsys):
+        assert main(["rq1b", "--packages", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "===== rq1b" in out
+        assert "goleak individual reports" in out
+
+    def test_ablations(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "fixpoint strategy" in out
+        assert "detection cadence" in out
+
+    def test_figure4_small(self, capsys):
+        assert main(["figure4", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "deadlocking programs" in out
+
+    def test_out_dir_archives(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        assert main(["--out", out_dir, "rq1b", "--packages", "20"]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(out_dir, "rq1b.txt"))
+        with open(os.path.join(out_dir, "rq1b.txt")) as fh:
+            assert "GOLF" in fh.read()

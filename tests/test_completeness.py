@@ -1,0 +1,104 @@
+"""Completeness (false-negative) tests: the paper's Listings 4-6.
+
+GOLF is deliberately incomplete; these tests pin down exactly which
+deadlocks it misses and why, and check that goleak (which only asks
+"is the goroutine still there?") sees them all.
+"""
+
+from repro import GolfConfig, Runtime
+from repro.baselines.goleak import find_leaks
+from repro.microbench.false_negatives import (
+    finalizer_keeps_goroutine,
+    global_channel_leak,
+    runaway_heartbeat,
+)
+from repro.runtime.clock import MICROSECOND, MILLISECOND
+from repro.runtime.instructions import Go, RunGC, Sleep
+
+
+def _run_pattern(builder, procs=2, seed=3):
+    body, labels = builder("fn")
+    rt = Runtime(procs=procs, seed=seed, config=GolfConfig())
+
+    def main():
+        yield Go(body)
+        yield Sleep(MILLISECOND)
+        yield RunGC()
+        yield RunGC()
+
+    rt.spawn_main(main)
+    rt.run(until_ns=100 * MILLISECOND)
+    return rt, body, labels
+
+
+class TestListing4GlobalChannel:
+    def test_golf_misses_global_channel_leak(self):
+        rt, _, labels = _run_pattern(global_channel_leak)
+        assert rt.reports.total() == 0
+
+    def test_goleak_sees_it(self):
+        rt, _, labels = _run_pattern(global_channel_leak)
+        leaks = find_leaks(rt)
+        assert labels[0] in {r.label for r in leaks}
+
+    def test_goroutine_remains_blocked_forever(self):
+        rt, _, _ = _run_pattern(global_channel_leak)
+        blocked = rt.sched.detectably_blocked()
+        assert len(blocked) == 1
+
+
+class TestListing5RunawayHeartbeat:
+    def test_golf_misses_heartbeat_pinned_leak(self):
+        rt, _, _ = _run_pattern(runaway_heartbeat)
+        assert rt.reports.total() == 0
+
+    def test_goleak_sees_the_blocked_sender(self):
+        rt, _, labels = _run_pattern(runaway_heartbeat)
+        leaks = find_leaks(rt)
+        assert labels[0] in {r.label for r in leaks}
+
+    def test_heartbeat_itself_not_counted_as_concurrency_leak(self):
+        rt, _, _ = _run_pattern(runaway_heartbeat)
+        leaks = find_leaks(rt)  # default: concurrency category only
+        assert len(leaks) == 1
+
+
+class TestListing6Finalizers:
+    def test_reported_but_finalizer_never_fires(self):
+        rt, body, labels = _run_pattern(finalizer_keeps_goroutine)
+        assert rt.reports.total() == 1
+        assert body.finalizer_fired == []
+
+    def test_kept_across_many_cycles(self):
+        rt, body, _ = _run_pattern(finalizer_keeps_goroutine)
+        for _ in range(4):
+            rt.gc()
+        assert rt.reports.total() == 1
+        assert body.finalizer_fired == []
+
+
+class TestDetectionRequiresGC:
+    def test_no_gc_no_report(self):
+        """GOLF only observes deadlocks at GC time: without a cycle, even
+        an obvious leak goes unreported (this is the RQ1(b) coverage
+        story — leaks after the last cycle are missed)."""
+        body, _ = global_channel_leak("x")  # any leak works
+        from repro.runtime.instructions import MakeChan, Send
+        rt = Runtime(procs=2, seed=1, config=GolfConfig())
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, ch, name="late-leak")
+            del ch
+            yield Sleep(50 * MICROSECOND)
+            # main exits without any GC cycle
+
+        rt.spawn_main(main)
+        rt.run(until_ns=10 * MILLISECOND)
+        assert rt.reports.total() == 0
+        # goleak still catches it at "test end".
+        assert any(r.label == "late-leak" for r in find_leaks(rt))

@@ -1,0 +1,208 @@
+"""Tests for the context package: cancellation trees over channels."""
+
+import pytest
+
+from repro import GolfConfig, Runtime
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.context import (
+    CANCELED,
+    DEADLINE_EXCEEDED,
+    background,
+    done_channel,
+    with_cancel,
+    with_timeout,
+)
+from repro.runtime.instructions import (
+    DEFAULT_CASE,
+    Go,
+    MakeChan,
+    Recv,
+    RecvCase,
+    Select,
+    Send,
+    Sleep,
+)
+from tests.conftest import run_to_end
+
+
+class TestWithCancel:
+    def test_cancel_closes_done(self, rt):
+        state = {}
+
+        def main():
+            ctx, cancel = yield from with_cancel()
+            state["before"] = ctx.cancelled
+            yield from cancel()
+            state["after"] = ctx.cancelled
+            state["err"] = ctx.err
+            _, ok = yield Recv(ctx.done)
+            state["recv_ok"] = ok
+
+        assert run_to_end(rt, main) == "main-exited"
+        assert state == {"before": False, "after": True,
+                         "err": CANCELED, "recv_ok": False}
+
+    def test_cancel_is_idempotent(self, rt):
+        def main():
+            ctx, cancel = yield from with_cancel()
+            yield from cancel()
+            yield from cancel()  # second close must not panic
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_cancel_unblocks_selecting_worker(self, rt):
+        state = {}
+
+        def main():
+            ctx, cancel = yield from with_cancel()
+            work = yield MakeChan(0)
+
+            def worker():
+                idx, _, _ = yield Select(
+                    [RecvCase(work), RecvCase(ctx.done)])
+                state["woke_via"] = "work" if idx == 0 else "cancel"
+
+            yield Go(worker)
+            yield Sleep(20 * MICROSECOND)
+            yield from cancel()
+            yield Sleep(20 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert state["woke_via"] == "cancel"
+
+    def test_child_cancelled_with_parent(self, rt):
+        state = {}
+
+        def main():
+            parent, cancel_parent = yield from with_cancel()
+            child, _ = yield from with_cancel(parent)
+            grandchild, _ = yield from with_cancel(child)
+            yield from cancel_parent()
+            state["child"] = child.err
+            state["grandchild"] = grandchild.err
+
+        run_to_end(rt, main)
+        assert state == {"child": CANCELED, "grandchild": CANCELED}
+
+    def test_child_cancel_leaves_parent_live(self, rt):
+        state = {}
+
+        def main():
+            parent, _ = yield from with_cancel()
+            child, cancel_child = yield from with_cancel(parent)
+            yield from cancel_child()
+            state["parent"] = parent.err
+            state["child"] = child.err
+
+        run_to_end(rt, main)
+        assert state == {"parent": None, "child": CANCELED}
+
+    def test_child_of_cancelled_parent_is_born_cancelled(self, rt):
+        state = {}
+
+        def main():
+            parent, cancel = yield from with_cancel()
+            yield from cancel()
+            child, _ = yield from with_cancel(parent)
+            state["child"] = child.err
+
+        run_to_end(rt, main)
+        assert state["child"] == CANCELED
+
+
+class TestWithTimeout:
+    def test_deadline_fires(self, rt):
+        state = {}
+
+        def main():
+            ctx, _ = yield from with_timeout(20 * MICROSECOND)
+            _, ok = yield Recv(ctx.done)  # blocks until the deadline
+            state["ok"] = ok
+            state["err"] = ctx.err
+
+        assert run_to_end(rt, main) == "main-exited"
+        assert state == {"ok": False, "err": DEADLINE_EXCEEDED}
+
+    def test_manual_cancel_beats_deadline(self, rt):
+        state = {}
+
+        def main():
+            ctx, cancel = yield from with_timeout(500 * MICROSECOND)
+            yield from cancel()
+            state["err"] = ctx.err
+            yield Sleep(600 * MICROSECOND)  # let the timer fire and exit
+            state["err_after_deadline"] = ctx.err
+
+        run_to_end(rt, main, budget_ns=10_000_000_000)
+        assert state["err"] == CANCELED
+        assert state["err_after_deadline"] == CANCELED  # not overwritten
+
+    def test_timer_goroutine_does_not_leak(self, rt):
+        def main():
+            ctx, cancel = yield from with_timeout(20 * MICROSECOND)
+            yield from cancel()
+            yield Sleep(50 * MICROSECOND)
+
+        run_to_end(rt, main)
+        rt.gc_until_quiescent()
+        assert rt.reports.total() == 0
+
+
+class TestBackground:
+    def test_background_never_cancelled(self):
+        ctx = background()
+        assert ctx.done is None
+        assert not ctx.cancelled
+
+    def test_done_channel_of_none_is_nil(self):
+        assert done_channel(None) is None
+        assert done_channel(background()) is None
+
+    def test_select_on_background_done_never_fires(self, rt):
+        def main():
+            ready = yield MakeChan(1)
+            yield Send(ready, 1)
+            ctx = background()
+            idx, _, _ = yield Select(
+                [RecvCase(done_channel(ctx)), RecvCase(ready)])
+            assert idx == 1  # the nil done case can never fire
+
+        assert run_to_end(rt, main) == "main-exited"
+
+
+class TestContextGC:
+    def test_abandoned_ctx_worker_detected(self, rt):
+        """A worker ignoring ctx.done leaks once the caller vanishes."""
+        def main():
+            ctx, cancel = yield from with_cancel()
+            results = yield MakeChan(0)
+
+            def deaf_worker():
+                yield Send(results, 1)  # never watches ctx.done
+
+            yield Go(deaf_worker, name="deaf")
+            yield from cancel()
+            yield Sleep(30 * MICROSECOND)
+
+        run_to_end(rt, main)
+        rt.gc_until_quiescent()
+        assert {r.label for r in rt.reports} == {"deaf"}
+
+    def test_ctx_aware_worker_never_reported(self, rt):
+        def main():
+            ctx, cancel = yield from with_cancel()
+            results = yield MakeChan(0)
+
+            def polite_worker():
+                yield Select([RecvCase(results), RecvCase(ctx.done)])
+
+            yield Go(polite_worker)
+            yield Sleep(20 * MICROSECOND)
+            from repro.runtime.instructions import RunGC
+            yield RunGC()  # worker blocked, but ctx.done is live via main
+            yield from cancel()
+            yield Sleep(20 * MICROSECOND)
+
+        run_to_end(rt, main)
+        rt.gc_until_quiescent()
+        assert rt.reports.total() == 0

@@ -1,0 +1,256 @@
+"""Tests for the reachable-liveness detector (paper, section 4).
+
+These build runtime states through real programs, force the state to
+settle, and run :func:`repro.core.detector.detect` directly on the heap
+and goroutine set, checking the ``LIVE+`` verdicts case by case.
+"""
+
+import pytest
+
+from repro import GolfConfig, Runtime
+from repro.core.detector import blocking_object_reachable, detect
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.goroutine import EPSILON
+from repro.runtime.instructions import (
+    Go,
+    MakeChan,
+    Recv,
+    Send,
+    SetGlobal,
+    Sleep,
+)
+from repro.runtime.objects import Box
+
+
+def _settle(rt, main):
+    rt.spawn_main(main)
+    rt.run(until_ns=100_000_000, max_instructions=1_000_000)
+
+
+def _detect(rt, on_the_fly=False):
+    rt.heap.begin_cycle()
+    return detect(rt.heap, rt.sched.allgs, on_the_fly=on_the_fly)
+
+
+def _names(goroutines):
+    return sorted(g.name for g in goroutines)
+
+
+@pytest.fixture(params=[False, True], ids=["restart", "on-the-fly"])
+def strategy(request):
+    return request.param
+
+
+class TestVerdicts:
+    def test_orphaned_sender_is_deadlocked(self, strategy):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender():
+                yield Send(ch, 1)
+
+            yield Go(sender, name="orphan")
+            yield Sleep(10 * MICROSECOND)
+
+        _settle(rt, main)
+        result = _detect(rt, strategy)
+        assert _names(result.deadlocked) == ["orphan"]
+
+    def test_sender_with_live_channel_holder_is_live(self, strategy):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender():
+                yield Send(ch, 1)
+
+            def holder():
+                yield Sleep(50_000 * MICROSECOND)
+                yield Recv(ch)  # keeps ch on a live goroutine's stack
+
+            yield Go(sender, name="sender")
+            yield Go(holder, name="holder")
+            yield Sleep(10 * MICROSECOND)
+
+        rt.spawn_main(main)
+        rt.run(until_ns=100 * MICROSECOND)
+        result = _detect(rt, strategy)
+        assert result.deadlocked == []
+
+    def test_global_channel_hides_deadlock(self, strategy):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            ch = yield MakeChan(0)
+            yield SetGlobal("pkg.ch", ch)
+
+            def sender():
+                yield Send(ch, 1)
+
+            yield Go(sender, name="global-sender")
+            yield Sleep(10 * MICROSECOND)
+
+        _settle(rt, main)
+        result = _detect(rt, strategy)
+        assert result.deadlocked == []  # false negative, by design
+
+    def test_mutually_blocked_pair_is_deadlocked(self, strategy):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+
+            def first():
+                yield Recv(a)
+                yield Send(b, 1)
+
+            def second():
+                yield Recv(b)
+                yield Send(a, 1)
+
+            yield Go(first, name="first")
+            yield Go(second, name="second")
+            yield Sleep(10 * MICROSECOND)
+
+        _settle(rt, main)
+        result = _detect(rt, strategy)
+        assert _names(result.deadlocked) == ["first", "second"]
+
+    def test_chain_rooted_in_live_holder_is_fully_live(self, strategy):
+        """Transitivity: a chain of blocked goroutines stays live when a
+        live goroutine holds only the head channel."""
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            head = yield MakeChan(0)
+
+            def stage(src, depth):
+                if depth > 0:
+                    dst = yield MakeChan(0)
+                    yield Go(stage, dst, depth - 1, name=f"stage{depth}")
+                value, _ = yield Recv(src)
+
+            yield Go(stage, head, 3, name="stage4")
+            yield Sleep(20 * MICROSECOND)
+            yield Sleep(100_000 * MICROSECOND)
+            yield Send(head, 1)
+
+        rt.spawn_main(main)
+        rt.run(until_ns=200 * MICROSECOND)
+        result = _detect(rt, strategy)
+        assert result.deadlocked == []
+        assert result.mark_iterations >= (1 if strategy else 2)
+
+    def test_detached_chain_is_fully_deadlocked(self, strategy):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            def stage(src, depth):
+                if depth > 0:
+                    dst = yield MakeChan(0)
+                    yield Go(stage, dst, depth - 1, name=f"stage{depth}")
+                yield Recv(src)
+
+            head = yield MakeChan(0)
+            yield Go(stage, head, 2, name="stage3")
+            del head  # main drops the only external reference
+            yield Sleep(20 * MICROSECOND)
+
+        _settle(rt, main)
+        result = _detect(rt, strategy)
+        assert len(result.deadlocked) == 3
+
+    def test_nil_blocked_goroutine_is_deadlocked(self, strategy):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            def nil_sender():
+                yield Send(None, 1)
+
+            yield Go(nil_sender, name="nil-sender")
+            yield Sleep(10 * MICROSECOND)
+
+        _settle(rt, main)
+        result = _detect(rt, strategy)
+        assert _names(result.deadlocked) == ["nil-sender"]
+
+    def test_sleeping_goroutine_is_always_live(self, strategy):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            def sleeper():
+                yield Sleep(100_000 * MICROSECOND)
+
+            yield Go(sleeper, name="sleeper")
+            yield Sleep(10 * MICROSECOND)
+
+        rt.spawn_main(main)
+        rt.run(until_ns=50 * MICROSECOND)
+        result = _detect(rt, strategy)
+        assert result.deadlocked == []
+
+    def test_strategies_agree(self):
+        """Restart and on-the-fly must compute identical deadlock sets."""
+        def program(rt):
+            def main():
+                a = yield MakeChan(0)
+                b = yield MakeChan(0)
+
+                def orphan():
+                    yield Send(a, 1)
+
+                def pair1():
+                    yield Recv(b)
+
+                def live_holder():
+                    yield Sleep(100_000 * MICROSECOND)
+                    yield Send(b, 1)
+
+                yield Go(orphan, name="orphan")
+                yield Go(pair1, name="pair1")
+                yield Go(live_holder, name="holder")
+                yield Sleep(10 * MICROSECOND)
+
+            rt.spawn_main(main)
+            rt.run(until_ns=100 * MICROSECOND)
+
+        rt1 = Runtime(procs=2, seed=3)
+        program(rt1)
+        restart = _detect(rt1, on_the_fly=False)
+
+        rt2 = Runtime(procs=2, seed=3)
+        program(rt2)
+        otf = _detect(rt2, on_the_fly=True)
+
+        assert _names(restart.deadlocked) == _names(otf.deadlocked)
+
+
+class TestBlockingObjectReachable:
+    def test_epsilon_never_reachable(self):
+        rt = Runtime()
+        rt.heap.begin_cycle()
+        rt.heap.mark(rt.heap.globals)
+        assert not blocking_object_reachable(rt.heap, EPSILON)
+
+    def test_non_heap_object_conservatively_reachable(self):
+        rt = Runtime()
+        rt.heap.begin_cycle()
+        stray = Box(1)  # never allocated: could be a global
+        assert blocking_object_reachable(rt.heap, stray)
+
+    def test_marked_object_reachable(self):
+        rt = Runtime()
+        obj = rt.alloc(Box(1))
+        rt.heap.begin_cycle()
+        rt.heap.mark(obj)
+        assert blocking_object_reachable(rt.heap, obj)
+
+    def test_unmarked_heap_object_unreachable(self):
+        rt = Runtime()
+        obj = rt.alloc(Box(1))
+        rt.heap.begin_cycle()
+        assert not blocking_object_reachable(rt.heap, obj)

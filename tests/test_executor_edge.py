@@ -1,0 +1,230 @@
+"""Edge-case tests for instruction execution semantics."""
+
+import pytest
+
+from repro import GoPanic, Runtime
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Close,
+    DEFAULT_CASE,
+    Go,
+    MakeChan,
+    Recv,
+    RecvCase,
+    Select,
+    Send,
+    SendCase,
+    Sleep,
+    WgAdd,
+    NewWaitGroup,
+    WgWait,
+)
+from tests.conftest import run_to_end
+
+
+class TestSelectEdgeCases:
+    def test_send_case_on_closed_channel_panics_when_chosen(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            yield Close(ch)
+            yield Select([SendCase(ch, 1)])
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="closed channel"):
+            rt.run()
+
+    def test_recv_case_on_closed_channel_returns_zero(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            yield Close(ch)
+            idx, value, ok = yield Select([RecvCase(ch)])
+            assert (idx, value, ok) == (0, None, False)
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_same_channel_as_send_and_recv_case(self, rt):
+        """A select offering both directions on one unbuffered channel
+        cannot match against itself; a peer must complete it."""
+        state = {}
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def peer():
+                value, _ = yield Recv(ch)
+                state["peer_got"] = value
+
+            yield Go(peer)
+            yield Sleep(10 * MICROSECOND)
+            idx, _, ok = yield Select([RecvCase(ch), SendCase(ch, "me")])
+            state["case"] = idx
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert state["case"] == 1  # the send case fired
+        assert state["peer_got"] == "me"
+
+    def test_blocked_select_loser_sudogs_inactive_after_close(self, rt):
+        """Closing one channel of a blocked select must leave no live
+        sudog on the other."""
+        def main():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+
+            def selector():
+                idx, _, ok = yield Select([RecvCase(a), RecvCase(b)])
+                assert idx == 0 and not ok  # woken by close(a)
+
+            yield Go(selector)
+            yield Sleep(10 * MICROSECOND)
+            yield Close(a)
+            yield Sleep(10 * MICROSECOND)
+            assert b.waiting_receivers() == 0
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_default_beats_blocked_cases_every_time(self, rt):
+        def main():
+            a = yield MakeChan(0)
+            for _ in range(16):
+                idx, _, _ = yield Select([RecvCase(a)], default=True)
+                assert idx == DEFAULT_CASE
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_select_prefers_ready_over_default(self, rt):
+        def main():
+            a = yield MakeChan(1)
+            yield Send(a, 9)
+            idx, value, ok = yield Select([RecvCase(a)], default=True)
+            assert (idx, value, ok) == (0, 9, True)
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_bad_case_type_rejected_eagerly(self):
+        with pytest.raises(TypeError):
+            Select(["not a case"])
+
+
+class TestChannelOrderingEdgeCases:
+    def test_buffered_values_drain_before_parked_senders(self, rt):
+        """FIFO across the buffer boundary: buffered values first, then
+        the parked sender's value."""
+        order = []
+
+        def main():
+            ch = yield MakeChan(1)
+            yield Send(ch, "first")  # fills the buffer
+
+            def overflow_sender():
+                yield Send(ch, "second")  # parks
+
+            yield Go(overflow_sender)
+            yield Sleep(10 * MICROSECOND)
+            for _ in range(2):
+                value, _ = yield Recv(ch)
+                order.append(value)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert order == ["first", "second"]
+
+    def test_close_with_full_buffer_and_parked_sender(self, rt):
+        """close() panics the parked sender but the buffer drains."""
+        def main():
+            ch = yield MakeChan(1)
+            yield Send(ch, "buffered")
+
+            def overflow_sender():
+                try:
+                    yield Send(ch, "parked")
+                except GoPanic:
+                    return  # recovered, Go-style
+
+            yield Go(overflow_sender)
+            yield Sleep(10 * MICROSECOND)
+            yield Close(ch)
+            value, ok = yield Recv(ch)
+            assert (value, ok) == ("buffered", True)
+            value, ok = yield Recv(ch)
+            assert ok is False
+            yield Sleep(10 * MICROSECOND)
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_two_receivers_one_send(self, rt):
+        """Only one parked receiver is woken per send; the other stays."""
+        woken = []
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def receiver(i):
+                value, _ = yield Recv(ch)
+                woken.append((i, value))
+
+            yield Go(receiver, 1)
+            yield Go(receiver, 2)
+            yield Sleep(10 * MICROSECOND)
+            yield Send(ch, "only")
+            yield Sleep(10 * MICROSECOND)
+            assert len(woken) == 1
+            yield Send(ch, "other")
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert len(woken) == 2
+
+    def test_recv_handoff_preserves_sender_fifo(self, rt):
+        """Parked senders complete in arrival order on an unbuffered
+        channel."""
+        got = []
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(tag):
+                yield Send(ch, tag)
+
+            for tag in ("a", "b", "c"):
+                yield Go(sender, tag)
+                yield Sleep(5 * MICROSECOND)  # enforce arrival order
+            for _ in range(3):
+                value, _ = yield Recv(ch)
+                got.append(value)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert got == ["a", "b", "c"]
+
+
+class TestWaitGroupEdgeCases:
+    def test_add_negative_delta_allowed_until_negative(self, rt):
+        def main():
+            wg = yield NewWaitGroup()
+            yield WgAdd(wg, 3)
+            yield WgAdd(wg, -2)
+            assert wg.counter == 1
+            yield WgAdd(wg, -1)
+            yield WgWait(wg)  # returns immediately
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_wait_after_reuse_cycle(self, rt):
+        """A WaitGroup can be reused after reaching zero, as in Go."""
+        def main():
+            wg = yield NewWaitGroup()
+
+            def worker():
+                from repro.runtime.instructions import WgDone
+                yield Sleep(5 * MICROSECOND)
+                yield WgDone(wg)
+
+            for _round in range(3):
+                yield WgAdd(wg, 2)
+                yield Go(worker)
+                yield Go(worker)
+                yield WgWait(wg)
+                assert wg.counter == 0
+
+        assert run_to_end(rt, main) == "main-exited"

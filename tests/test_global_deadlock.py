@@ -1,0 +1,76 @@
+"""Tests for global deadlock detection and its fatal-error dump."""
+
+import pytest
+
+from repro import GlobalDeadlockError, Runtime
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Go,
+    Lock,
+    MakeChan,
+    NewMutex,
+    Recv,
+    Send,
+    Sleep,
+)
+
+
+class TestGlobalDeadlock:
+    def test_error_carries_stack_dump(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def other(c):
+                yield Recv(c)
+
+            yield Go(other, ch)
+            yield Recv(ch)  # both sides receive: global deadlock
+
+        rt.spawn_main(main)
+        with pytest.raises(GlobalDeadlockError) as excinfo:
+            rt.run()
+        err = excinfo.value
+        assert err.num_goroutines == 2
+        assert "goroutine 1 [chan receive]" in err.dump
+        assert "created by" in err.dump
+        assert "all goroutines are asleep" in str(err)
+
+    def test_abba_between_all_goroutines_is_global(self, rt):
+        def main():
+            a = yield NewMutex()
+            b = yield NewMutex()
+            done = yield MakeChan(0)
+
+            def locker(first, second):
+                yield Lock(first)
+                yield Sleep(10 * MICROSECOND)
+                yield Lock(second)
+                yield Send(done, ())
+
+            yield Go(locker, a, b)
+            yield Go(locker, b, a)
+            yield Recv(done)  # main depends on the deadlocked pair
+
+        rt.spawn_main(main)
+        with pytest.raises(GlobalDeadlockError) as excinfo:
+            rt.run()
+        assert excinfo.value.num_goroutines == 3
+        assert "sync.Mutex.Lock" in excinfo.value.dump
+
+    def test_partial_deadlock_is_not_global(self, rt):
+        """If main stays alive on timers, a stuck worker is partial, not
+        global — the run ends normally and GOLF handles the leak."""
+        def main():
+            ch = yield MakeChan(0)
+
+            def stuck(c):
+                yield Recv(c)
+
+            yield Go(stuck, ch)
+            del ch
+            yield Sleep(50 * MICROSECOND)
+
+        rt.spawn_main(main)
+        assert rt.run() == "main-exited"
+        rt.gc_until_quiescent()
+        assert rt.reports.total() == 1

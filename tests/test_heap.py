@@ -1,0 +1,147 @@
+"""Unit tests for the heap: allocation, marking epochs, sweep, finalizers."""
+
+import pytest
+
+from repro.gc.heap import Heap
+from repro.runtime.objects import Blob, Box, Struct
+
+
+@pytest.fixture
+def heap():
+    return Heap()
+
+
+class TestAllocation:
+    def test_assigns_unique_addresses(self, heap):
+        a, b = Box(1), Box(2)
+        heap.allocate(a)
+        heap.allocate(b)
+        assert a.addr != 0 and b.addr != 0 and a.addr != b.addr
+
+    def test_double_allocation_rejected(self, heap):
+        obj = Box(1)
+        heap.allocate(obj)
+        with pytest.raises(ValueError):
+            heap.allocate(obj)
+
+    def test_contains(self, heap):
+        obj = heap.allocate(Box(1))
+        assert heap.contains(obj)
+        assert not heap.contains(Box(2))
+
+    def test_live_bytes_and_objects(self, heap):
+        base_bytes, base_objects = heap.live_bytes, heap.live_objects
+        heap.allocate(Blob(1000))
+        assert heap.live_bytes == base_bytes + 1000
+        assert heap.live_objects == base_objects + 1
+
+    def test_explicit_free(self, heap):
+        obj = heap.allocate(Blob(512))
+        before = heap.live_bytes
+        heap.free(obj)
+        assert heap.live_bytes == before - 512
+        assert not heap.contains(obj)
+
+    def test_globals_always_allocated(self, heap):
+        assert heap.contains(heap.globals)
+
+
+class TestMarking:
+    def test_mark_is_per_epoch(self, heap):
+        obj = heap.allocate(Box(1))
+        heap.begin_cycle()
+        assert not heap.is_marked(obj)
+        assert heap.mark(obj)
+        assert heap.is_marked(obj)
+        assert not heap.mark(obj)  # second mark is a no-op
+
+    def test_new_cycle_unmarks_everything(self, heap):
+        obj = heap.allocate(Box(1))
+        heap.begin_cycle()
+        heap.mark(obj)
+        heap.begin_cycle()
+        assert not heap.is_marked(obj)
+
+
+class TestSweep:
+    def test_sweeps_unmarked(self, heap):
+        garbage = heap.allocate(Blob(100))
+        live = heap.allocate(Blob(200))
+        heap.begin_cycle()
+        heap.mark(heap.globals)
+        heap.mark(live)
+        result, finalizers = heap.sweep()
+        assert result.freed_objects == 1
+        assert result.freed_bytes == 100
+        assert finalizers == []
+        assert not heap.contains(garbage)
+        assert heap.contains(live)
+
+    def test_pinned_objects_survive_unmarked(self, heap):
+        pinned = heap.allocate(Blob(64), pinned=True)
+        heap.begin_cycle()
+        heap.mark(heap.globals)
+        heap.sweep()
+        assert heap.contains(pinned)
+
+    def test_unpin_allows_sweep(self, heap):
+        obj = heap.allocate(Blob(64), pinned=True)
+        heap.unpin(obj)
+        heap.begin_cycle()
+        heap.mark(heap.globals)
+        heap.sweep()
+        assert not heap.contains(obj)
+
+    def test_finalizer_resurrects_once(self, heap):
+        calls = []
+        obj = heap.allocate(Box("payload"))
+        obj.set_finalizer(lambda o: calls.append(o))
+
+        heap.begin_cycle()
+        heap.mark(heap.globals)
+        result, finalizers = heap.sweep()
+        assert result.finalizers_queued == 1
+        assert heap.contains(obj)  # resurrected this cycle
+        for thunk in finalizers:
+            thunk()
+        assert calls == [obj]
+
+        # Next cycle: still unreachable, finalizer detached -> freed.
+        heap.begin_cycle()
+        heap.mark(heap.globals)
+        result, finalizers = heap.sweep()
+        assert finalizers == []
+        assert not heap.contains(obj)
+
+    def test_marked_finalizer_object_untouched(self, heap):
+        obj = heap.allocate(Box(1))
+        obj.set_finalizer(lambda o: None)
+        heap.begin_cycle()
+        heap.mark(obj)
+        _, finalizers = heap.sweep()
+        assert finalizers == []
+        assert obj.finalizer is not None
+
+
+class TestGlobals:
+    def test_set_get_remove(self, heap):
+        heap.globals.set("x", 42)
+        assert heap.globals.get("x") == 42
+        heap.globals.remove("x")
+        assert heap.globals.get("x") is None
+
+    def test_referents_scan_registered_values(self, heap):
+        a = heap.allocate(Box(1))
+        b = heap.allocate(Box(2))
+        heap.globals.set("direct", a)
+        heap.globals.set("nested", {"list": [b]})
+        assert set(heap.globals.referents()) == {a, b}
+
+    def test_global_value_survives_sweep(self, heap):
+        obj = heap.allocate(Struct(payload=heap.allocate(Blob(32))))
+        heap.globals.set("keep", obj)
+        heap.begin_cycle()
+        from repro.gc.marking import mark_from
+        mark_from(heap, [heap.globals])
+        heap.sweep()
+        assert heap.contains(obj)

@@ -1,0 +1,189 @@
+"""Tests for the future-work extensions: liveness hints and GFuzz×GOLF."""
+
+import pytest
+
+from repro import GolfConfig, Runtime
+from repro.fuzz import FuzzResult, SelectProfile, fuzz_program
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Go,
+    MakeChan,
+    Recv,
+    RecvCase,
+    RunGC,
+    Select,
+    Send,
+    SetGlobal,
+    Sleep,
+)
+from tests.conftest import run_to_end
+
+
+def _global_channel_program(rt):
+    """The paper's Listing 4: a sender stuck on a global channel."""
+    def main():
+        ch = yield MakeChan(0)
+        yield SetGlobal("pkg.ch", ch)
+
+        def sender(c):
+            yield Send(c, 1)
+
+        yield Go(sender, ch, name="global-sender")
+        del ch  # as in Listing 4: only the package-level var remains
+        yield Sleep(20 * MICROSECOND)
+        yield RunGC()
+        yield RunGC()
+
+    run_to_end(rt, main)
+
+
+class TestLivenessHints:
+    def test_without_hints_listing4_is_missed(self):
+        rt = Runtime(procs=2, seed=1, config=GolfConfig())
+        _global_channel_program(rt)
+        assert rt.reports.total() == 0
+
+    def test_hint_recovers_listing4(self):
+        config = GolfConfig(dead_global_hints={"pkg.ch"})
+        rt = Runtime(procs=2, seed=1, config=config)
+        _global_channel_program(rt)
+        assert {r.label for r in rt.reports} == {"global-sender"}
+
+    def test_hinted_global_object_not_swept(self):
+        """Hints affect liveness only: the global table still references
+        the channel, so the collector must keep it in memory."""
+        config = GolfConfig(dead_global_hints={"pkg.ch"})
+        rt = Runtime(procs=2, seed=1, config=config)
+        _global_channel_program(rt)
+        rt.gc_until_quiescent()
+        ch = rt.get_global("pkg.ch")
+        assert ch is not None
+        assert rt.heap.contains(ch)
+
+    def test_unrelated_hint_changes_nothing(self):
+        config = GolfConfig(dead_global_hints={"other.var"})
+        rt = Runtime(procs=2, seed=1, config=config)
+        _global_channel_program(rt)
+        assert rt.reports.total() == 0
+
+    def test_wrong_hint_trips_the_soundness_alarm(self):
+        """Hints are trusted assertions: if one is wrong — the program
+        *does* use the hinted global later — the runtime's wake tripwire
+        must catch the resulting unsound report as a SchedulerError
+        rather than silently corrupting execution."""
+        from repro.errors import SchedulerError
+        from repro.runtime.instructions import GetGlobal, RunGC
+
+        config = GolfConfig(dead_global_hints={"pkg.ch"},
+                            reclaim=False)  # keep the goroutine around
+        rt = Runtime(procs=2, seed=1, config=config)
+
+        def main():
+            ch = yield MakeChan(0)
+            yield SetGlobal("pkg.ch", ch)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, ch)
+            del ch
+            yield Sleep(20 * MICROSECOND)
+            yield RunGC()  # wrong hint: sender reported deadlocked
+            target = yield GetGlobal("pkg.ch")
+            yield Recv(target)  # ...but the "dead" global gets used!
+
+        rt.spawn_main(main)
+        with pytest.raises(SchedulerError, match="soundness violation"):
+            rt.run()
+
+    def test_hint_does_not_affect_live_globals_users(self):
+        """A goroutine blocked on a *non-hinted* global stays live."""
+        config = GolfConfig(dead_global_hints={"dead.one"})
+        rt = Runtime(procs=2, seed=1, config=config)
+
+        def main():
+            ch = yield MakeChan(0)
+            yield SetGlobal("live.ch", ch)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, ch)
+            yield Sleep(20 * MICROSECOND)
+            yield RunGC()
+            from repro.runtime.instructions import GetGlobal
+            target = yield GetGlobal("live.ch")
+            yield Recv(target)
+
+        assert run_to_end(rt, main) == "main-exited"
+        assert rt.reports.total() == 0
+
+
+class TestSelectProfile:
+    def test_rotation_covers_cases(self):
+        profile = SelectProfile(0)
+        picks = [profile.choose([10, 20, 30]) for _ in range(6)]
+        assert picks == [10, 20, 30, 10, 20, 30]
+
+    def test_profile_id_shifts_preference(self):
+        assert SelectProfile(1).choose([10, 20, 30]) == 20
+        assert SelectProfile(2).choose([10, 20, 30]) == 30
+
+
+def _order_sensitive_program():
+    """A leak that manifests only when a select prefers its second
+    ready case: the shape GFuzz-style exploration exists to surface."""
+
+    def main():
+        fast = yield MakeChan(1)
+        slow = yield MakeChan(1)
+        yield Send(fast, "fast")
+        yield Send(slow, "slow")
+        orphan = yield MakeChan(0)
+
+        def unlucky(c):
+            yield Send(c, 1)
+
+        idx, _, _ = yield Select([RecvCase(fast), RecvCase(slow)])
+        if idx == 1:
+            # The rarely-taken branch forgets to drain its worker.
+            yield Go(unlucky, orphan, name="order-sensitive-leak")
+        del orphan
+        yield Sleep(20 * MICROSECOND)
+        yield RunGC()
+        yield RunGC()
+
+    return main
+
+
+class TestFuzzProgram:
+    def test_union_finds_order_sensitive_leak(self):
+        result = fuzz_program(_order_sensitive_program, profiles=4)
+        assert "order-sensitive-leak" in result.union
+
+    def test_leak_is_profile_dependent(self):
+        result = fuzz_program(_order_sensitive_program, profiles=4)
+        finders = result.profiles_detecting("order-sensitive-leak")
+        assert 0 < len(finders) < 4
+        assert "order-sensitive-leak" in result.exclusive_finds()
+
+    def test_statuses_recorded(self):
+        result = fuzz_program(_order_sensitive_program, profiles=3)
+        assert set(result.statuses) == {0, 1, 2}
+        assert all(s == "main-exited" for s in result.statuses.values())
+
+    def test_clean_program_yields_empty_union(self):
+        def clean_factory():
+            def main():
+                ch = yield MakeChan(1)
+                yield Send(ch, 1)
+                yield Recv(ch)
+            return main
+
+        result = fuzz_program(clean_factory, profiles=3)
+        assert result.union == set()
+        assert result.exclusive_finds() == set()
+
+    def test_invalid_profiles(self):
+        with pytest.raises(ValueError):
+            fuzz_program(_order_sensitive_program, profiles=0)

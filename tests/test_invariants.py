@@ -1,0 +1,114 @@
+"""Tests for the schedcheck-style invariant sweep itself."""
+
+from repro import GolfConfig, Runtime
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.goroutine import GStatus
+from repro.runtime.instructions import (
+    Go,
+    Lock,
+    MakeChan,
+    NewMutex,
+    Recv,
+    RunGC,
+    Send,
+    Sleep,
+)
+from tests.conftest import run_to_end
+
+
+class TestHealthyStates:
+    def test_fresh_runtime_clean(self, rt):
+        assert rt.check_invariants() == []
+
+    def test_after_program_clean(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, ch)
+            yield Recv(ch)
+
+        run_to_end(rt, main)
+        assert rt.check_invariants() == []
+
+    def test_mid_run_with_blocked_goroutines_clean(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            mu = yield NewMutex()
+            yield Lock(mu)
+
+            def receiver(c):
+                yield Recv(c)
+
+            def contender(m):
+                yield Lock(m)
+
+            yield Go(receiver, ch)
+            yield Go(contender, mu)
+            yield Sleep(100_000 * MICROSECOND)
+
+        rt.spawn_main(main)
+        rt.run(until_ns=100 * MICROSECOND)  # stop mid-flight
+        assert rt.check_invariants() == []
+
+    def test_after_detection_and_recovery_clean(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, ch)
+            del ch
+            yield Sleep(20 * MICROSECOND)
+            yield RunGC()
+            yield RunGC()
+
+        run_to_end(rt, main)
+        assert rt.reports.total() == 1
+        assert rt.check_invariants() == []
+
+
+class TestDetectsCorruption:
+    """Deliberately corrupt internal state; the sweep must notice."""
+
+    def _runtime_with_blocked(self):
+        rt = Runtime(procs=2, seed=1, config=GolfConfig())
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, ch)
+            yield Sleep(100_000 * MICROSECOND)
+
+        rt.spawn_main(main)
+        rt.run(until_ns=100 * MICROSECOND)
+        return rt
+
+    def test_flags_runnable_in_runq_corruption(self):
+        rt = self._runtime_with_blocked()
+        blocked = rt.sched.detectably_blocked()[0]
+        rt.sched.runq.append(blocked)  # corrupt: waiting goroutine in runq
+        assert any("runq" in p for p in rt.check_invariants())
+
+    def test_flags_missing_wait_reason(self):
+        rt = self._runtime_with_blocked()
+        blocked = rt.sched.detectably_blocked()[0]
+        blocked.wait_reason = None
+        assert any("no wait reason" in p for p in rt.check_invariants())
+
+    def test_flags_heap_accounting_drift(self):
+        rt = self._runtime_with_blocked()
+        rt.heap.total_freed_bytes += 64  # corrupt the counters
+        assert any("byte accounting" in p for p in rt.check_invariants())
+
+    def test_flags_live_goroutine_in_free_pool(self):
+        rt = self._runtime_with_blocked()
+        blocked = rt.sched.detectably_blocked()[0]
+        rt.sched.gfree.append(blocked)
+        assert any("free pool" in p for p in rt.check_invariants())

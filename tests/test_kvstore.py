@@ -1,0 +1,135 @@
+"""Integration tests for the KV-store demo application."""
+
+import pytest
+
+from repro import GolfConfig, Runtime
+from repro.apps import KVConfig, KVStore, run_kv_workload
+from repro.runtime.clock import MICROSECOND, MILLISECOND
+from repro.runtime.instructions import Go, Now, Recv, Sleep
+from tests.conftest import run_to_end
+
+
+def _with_store(rt, scenario, config=None):
+    """Run ``scenario(store)`` (a generator function) inside the runtime."""
+    out = {}
+
+    def main():
+        store = yield from KVStore.create(config or KVConfig())
+        out["store"] = store
+        yield from scenario(store)
+        store.stop()
+        yield Sleep(10 * MILLISECOND)
+
+    rt.spawn_main(main)
+    rt.run(until_ns=2_000_000_000, max_instructions=5_000_000)
+    return out["store"]
+
+
+class TestStoreOperations:
+    def test_put_get_roundtrip(self, rt):
+        seen = {}
+
+        def scenario(store):
+            now = yield Now()
+            yield from store.put("a/k1", 42, now)
+            seen["hit"] = yield from store.get("a/k1", now)
+            seen["miss"] = yield from store.get("a/k2", now)
+
+        _with_store(rt, scenario)
+        assert seen == {"hit": 42, "miss": None}
+
+    def test_ttl_expiry(self, rt):
+        seen = {}
+
+        def scenario(store):
+            now = yield Now()
+            yield from store.put("a/k1", "v", now)
+            yield Sleep(25 * MILLISECOND)  # ttl is 10ms
+            now2 = yield Now()
+            seen["after_ttl"] = yield from store.get("a/k1", now2)
+
+        store = _with_store(rt, scenario)
+        assert seen["after_ttl"] is None
+        assert store.stats["expired"] >= 1
+
+    def test_watch_receives_put_events(self, rt):
+        events = []
+
+        def scenario(store):
+            watch_id, ch = yield from store.watch("a/")
+            now = yield Now()
+            yield from store.put("a/k1", 1, now)
+            yield from store.put("b/k1", 2, now)  # different prefix
+            yield from store.put("a/k2", 3, now)
+            for _ in range(2):
+                event, _ = yield Recv(ch)
+                events.append(event["key"])
+            yield from store.cancel_watch(watch_id)
+
+        _with_store(rt, scenario)
+        assert events == ["a/k1", "a/k2"]
+
+    def test_slow_watcher_drops_events(self, rt):
+        def scenario(store):
+            _, ch = yield from store.watch("a/")
+            now = yield Now()
+            for i in range(10):  # watch channel caps at 4
+                yield from store.put(f"a/k{i}", i, now)
+
+        store = _with_store(rt, scenario)
+        assert store.stats["events_delivered"] == 4
+        assert store.stats["events_dropped"] == 6
+
+    def test_concurrent_clients_consistent_counts(self, rt):
+        def scenario(store):
+            done = 0
+
+            def writer(i):
+                now = yield Now()
+                for j in range(5):
+                    yield from store.put(f"c{i}/k{j}", j, now)
+
+            gs = []
+            for i in range(4):
+                yield Go(writer, i)
+            yield Sleep(20 * MILLISECOND)
+
+        store = _with_store(rt, scenario)
+        assert store.stats["puts"] == 20
+
+
+class TestWorkload:
+    def test_clean_workload_no_reports(self):
+        result = run_kv_workload(KVConfig(seed=3), golf=True)
+        assert result.requests > 200
+        assert result.deadlock_reports == 0
+        assert result.stats["watches_created"] == (
+            result.stats["watches_cancelled"])
+
+    def test_leaky_workload_detected_and_triaged_to_one_site(self):
+        result = run_kv_workload(
+            KVConfig(leak_watch_cancel=True, seed=3), golf=True)
+        assert result.deadlock_reports > 50
+        assert result.dedup_sites == ["kv-watch-drainer"]
+        # GOLF reclaimed them: barely anything lingers.
+        assert result.lingering_goroutines < 30
+
+    def test_baseline_accumulates_the_leak(self):
+        leaky = run_kv_workload(
+            KVConfig(leak_watch_cancel=True, seed=3), golf=False)
+        clean = run_kv_workload(KVConfig(seed=3), golf=False)
+        assert leaky.deadlock_reports == 0  # baseline never reports
+        assert leaky.lingering_goroutines > (
+            clean.lingering_goroutines + 50)
+
+    def test_workload_throughput_comparable_under_golf(self):
+        base = run_kv_workload(
+            KVConfig(leak_watch_cancel=True, seed=9), golf=False)
+        golf = run_kv_workload(
+            KVConfig(leak_watch_cancel=True, seed=9), golf=True)
+        # GC pause timing differs slightly between collectors, so the
+        # timed closed loop completes a slightly different request count
+        # — but service throughput must be equivalent (paper, Table 3).
+        assert abs(golf.requests - base.requests) / base.requests < 0.10
+        assert abs(golf.stats["puts"] - base.stats["puts"]) < (
+            0.15 * base.stats["puts"])

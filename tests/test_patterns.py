@@ -1,0 +1,132 @@
+"""Parametrized tests over the deterministic leak-pattern library.
+
+Every leaky pattern must leak exactly at its annotated sites; every
+fixed variant must run clean (no report, no lingering goroutine).
+"""
+
+import pytest
+
+from repro.baselines.goleak import find_leaks
+from repro.microbench import patterns
+from repro.microbench.harness import run_microbenchmark
+from repro.microbench.registry import Microbenchmark
+
+ALL_BUILDERS = patterns.DETERMINISTIC_BUILDERS
+FIXABLE_BUILDERS = [
+    b for b in ALL_BUILDERS
+    if b("probe")[2] is not None
+]
+
+
+def _bench(builder, use_name="pattern"):
+    body, labels, fixed = builder(use_name)
+    return Microbenchmark(use_name, "test", body, labels, fixed=fixed)
+
+
+@pytest.mark.parametrize(
+    "builder", ALL_BUILDERS, ids=lambda b: b.__name__)
+class TestLeakyVariants:
+    def test_all_sites_detected(self, builder):
+        bench = _bench(builder)
+        result = run_microbenchmark(bench, procs=2, seed=13)
+        assert result.panic is None, result.panic
+        assert result.detected == set(bench.sites)
+
+    def test_no_spurious_detection(self, builder):
+        bench = _bench(builder)
+        result = run_microbenchmark(bench, procs=2, seed=14)
+        assert result.detected <= set(bench.sites)
+
+    def test_detection_stable_across_cores(self, builder):
+        bench = _bench(builder)
+        for procs in (1, 4):
+            result = run_microbenchmark(bench, procs=procs, seed=15)
+            assert result.detected == set(bench.sites), (
+                f"{builder.__name__} at procs={procs}"
+            )
+
+
+@pytest.mark.parametrize(
+    "builder", FIXABLE_BUILDERS, ids=lambda b: b.__name__)
+class TestFixedVariants:
+    def test_fixed_variant_is_clean(self, builder):
+        bench = _bench(builder)
+        result = run_microbenchmark(bench, procs=2, seed=16, use_fixed=True)
+        assert result.panic is None, result.panic
+        assert result.detected == set()
+
+    def test_fixed_variant_leaves_no_goroutines(self, builder):
+        from repro import GolfConfig, Runtime
+        from repro.runtime.clock import MILLISECOND
+        from repro.runtime.instructions import Go, Sleep
+
+        body, _, fixed = builder("fixed-check")
+        rt = Runtime(procs=2, seed=17, config=GolfConfig.baseline())
+
+        def main():
+            yield Go(fixed)
+            yield Sleep(5 * MILLISECOND)
+
+        rt.spawn_main(main)
+        rt.run(until_ns=200 * MILLISECOND)
+        assert find_leaks(rt) == []
+
+
+class TestPatternDetails:
+    def test_double_send_first_message_arrives(self):
+        bench = _bench(patterns.double_send)
+        result = run_microbenchmark(bench, procs=1, seed=5)
+        # Exactly one goroutine leaks (the second send), not two.
+        assert result.report_count == 1
+
+    def test_daisy_chain_leaks_whole_chain(self):
+        bench = _bench(patterns.daisy_chain)
+        result = run_microbenchmark(bench, procs=2, seed=5)
+        assert result.report_count == 4  # default chain length
+
+    def test_fanin_leaks_every_producer(self):
+        bench = _bench(patterns.fanin_no_consumer)
+        result = run_microbenchmark(bench, procs=2, seed=5)
+        assert result.report_count == 3
+
+    def test_pipeline_leaks_all_three_stages(self):
+        bench = _bench(patterns.pipeline_no_cancellation)
+        result = run_microbenchmark(bench, procs=2, seed=5)
+        assert result.report_count == 3
+
+    def test_rwmutex_pair_reports_both_reasons(self):
+        from repro import GolfConfig, Runtime
+        from repro.runtime.clock import MILLISECOND
+        from repro.runtime.instructions import Go, RunGC, Sleep
+
+        body, labels, _ = patterns.rwmutex_stuck_pair("rw")
+        rt = Runtime(procs=2, seed=8, config=GolfConfig())
+
+        def main():
+            yield Go(body)
+            yield Sleep(3 * MILLISECOND)
+            yield RunGC()
+
+        rt.spawn_main(main)
+        rt.run(until_ns=100 * MILLISECOND)
+        reasons = {r.wait_reason for r in rt.reports}
+        assert "chan receive" in reasons
+        assert "sync.RWMutex.Lock" in reasons
+
+    def test_listing7_deferred_send_is_the_leak(self):
+        from repro import GolfConfig, Runtime
+        from repro.runtime.clock import MILLISECOND
+        from repro.runtime.instructions import Go, RunGC, Sleep
+
+        body, labels, _ = patterns.listing7_sendmail("l7")
+        rt = Runtime(procs=2, seed=8, config=GolfConfig())
+
+        def main():
+            yield Go(body)
+            yield Sleep(3 * MILLISECOND)
+            yield RunGC()
+
+        rt.spawn_main(main)
+        rt.run(until_ns=100 * MILLISECOND)
+        (report,) = list(rt.reports)
+        assert report.wait_reason == "chan send"

@@ -1,0 +1,149 @@
+"""Tests for goroutine profiles (pprof) and runtime tracing."""
+
+from repro import GolfConfig, Runtime
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Go,
+    MakeChan,
+    Recv,
+    RunGC,
+    Send,
+    Sleep,
+)
+from repro.runtime.pprof import format_goroutine_profile, goroutine_profile
+from tests.conftest import run_to_end
+
+
+def _pool_runtime(rt, n=4):
+    state = {}
+
+    def main():
+        jobs = yield MakeChan(0)
+        state["jobs"] = jobs
+
+        def worker():
+            yield Recv(jobs)
+
+        for _ in range(n):
+            yield Go(worker, name="pool-worker")
+        yield Sleep(20 * MICROSECOND)
+        yield Sleep(100_000 * MICROSECOND)
+
+    rt.spawn_main(main)
+    rt.run(until_ns=100 * MICROSECOND)
+    return state
+
+
+class TestGoroutineProfile:
+    def test_groups_identical_stacks(self, rt):
+        _pool_runtime(rt, n=4)
+        records = goroutine_profile(rt)
+        pool = [r for r in records if r.count == 4]
+        assert len(pool) == 1
+        assert pool[0].wait_reason == "chan receive"
+        assert len(pool[0].goids) == 4
+
+    def test_profile_sorted_by_count(self, rt):
+        _pool_runtime(rt, n=3)
+        records = goroutine_profile(rt)
+        counts = [r.count for r in records]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_system_goroutines_hidden_by_default(self):
+        rt = Runtime(procs=2, seed=1)
+        rt.enable_periodic_gc(50 * MICROSECOND)
+        _pool_runtime(rt, n=1)
+        visible = goroutine_profile(rt)
+        with_system = goroutine_profile(rt, include_system=True)
+        assert sum(r.count for r in with_system) > sum(
+            r.count for r in visible)
+
+    def test_text_format(self, rt):
+        _pool_runtime(rt, n=2)
+        text = format_goroutine_profile(rt)
+        assert text.startswith("goroutine profile: total ")
+        assert "chan receive" in text
+        assert "#\t" in text
+
+    def test_dead_goroutines_absent(self, rt):
+        def main():
+            def quick():
+                yield Sleep(MICROSECOND)
+
+            yield Go(quick)
+            yield Sleep(20 * MICROSECOND)
+
+        run_to_end(rt, main)
+        records = goroutine_profile(rt)
+        assert sum(r.count for r in records) == 0
+
+
+class TestTracing:
+    def _traced_leak_run(self):
+        rt = Runtime(procs=2, seed=3, config=GolfConfig())
+        tracer = rt.enable_tracing()
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, c := ch, name="traced-leaker")
+            del ch, c
+            yield Sleep(20 * MICROSECOND)
+            yield RunGC()
+            yield RunGC()
+
+        rt.spawn_main(main)
+        rt.run(until_ns=100_000_000)
+        return rt, tracer
+
+    def test_lifecycle_events_recorded(self):
+        rt, tracer = self._traced_leak_run()
+        kinds = {e.kind for e in tracer.events}
+        assert {"go-create", "go-park", "go-end",
+                "gc-cycle", "partial-deadlock", "go-reclaim"} <= kinds
+
+    def test_deadlock_event_names_goroutine(self):
+        rt, tracer = self._traced_leak_run()
+        (event,) = tracer.of_kind("partial-deadlock")
+        assert "chan send" in event.detail
+        reclaim_events = tracer.of_kind("go-reclaim")
+        assert [e.goid for e in reclaim_events] == [event.goid]
+
+    def test_per_goroutine_history(self):
+        rt, tracer = self._traced_leak_run()
+        (dl,) = tracer.of_kind("partial-deadlock")
+        history = [e.kind for e in tracer.for_goroutine(dl.goid)]
+        assert history[0] == "go-create"
+        assert history[-1] == "go-reclaim"
+        assert "go-park" in history
+
+    def test_events_timestamped_monotonically(self):
+        rt, tracer = self._traced_leak_run()
+        times = [e.t_ns for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_format_renders_lines(self):
+        rt, tracer = self._traced_leak_run()
+        text = tracer.format(limit=5)
+        assert text.count("\n") == 4
+        assert "ns]" in text
+
+    def test_capacity_bound(self):
+        rt = Runtime(procs=1, seed=1)
+        tracer = rt.enable_tracing(capacity=10)
+
+        def main():
+            for _ in range(50):
+                yield Sleep(MICROSECOND)
+
+        rt.spawn_main(main)
+        rt.run()
+        assert len(tracer) == 10
+        assert tracer.dropped > 0
+        assert "dropped" in tracer.format()
+
+    def test_tracing_off_by_default(self, rt):
+        assert rt.tracer is None

@@ -1,0 +1,171 @@
+"""Property-based tests over whole random programs.
+
+The scheduler turns any unsound detection into a hard failure: waking a
+goroutine that GOLF reported deadlocked raises ``SchedulerError``.  These
+tests generate random message-passing programs, run them under aggressive
+GC (periodic + forced), and assert that no such violation ever occurs —
+plus structural invariants on the final runtime state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import GlobalDeadlockError, GolfConfig, GoPanic, Runtime
+from repro.errors import SchedulerError
+from repro.runtime.clock import MICROSECOND, MILLISECOND
+from repro.runtime.goroutine import GStatus
+from repro.runtime.instructions import (
+    Close,
+    DEFAULT_CASE,
+    Go,
+    Gosched,
+    IoWait,
+    MakeChan,
+    Recv,
+    RecvCase,
+    RunGC,
+    Select,
+    Send,
+    SendCase,
+    Sleep,
+    Work,
+)
+
+# An op is (kind, channel_index, amount).
+OPS = st.tuples(
+    st.sampled_from(["send", "recv", "select2", "select_default",
+                     "sleep", "work", "gosched", "io", "close"]),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=20),
+)
+
+
+def _worker(channels, ops):
+    def body():
+        for kind, ch_idx, amount in ops:
+            ch = channels[ch_idx % len(channels)]
+            other = channels[(ch_idx + 1) % len(channels)]
+            if kind == "send":
+                yield Send(ch, amount)
+            elif kind == "recv":
+                yield Recv(ch)
+            elif kind == "select2":
+                yield Select([RecvCase(ch), SendCase(other, amount)])
+            elif kind == "select_default":
+                yield Select([RecvCase(ch)], default=True)
+            elif kind == "sleep":
+                yield Sleep(amount * MICROSECOND)
+            elif kind == "work":
+                yield Work(amount)
+            elif kind == "io":
+                yield IoWait(amount * MICROSECOND)
+            elif kind == "close":
+                if not ch.closed:
+                    yield Close(ch)
+            else:
+                yield Gosched()
+
+    return body
+
+
+def _run_random_program(n_channels, capacities, worker_ops, seed, procs):
+    rt = Runtime(procs=procs, seed=seed, config=GolfConfig())
+    rt.enable_periodic_gc(50 * MICROSECOND)
+
+    def main():
+        channels = []
+        for cap in capacities[:n_channels]:
+            ch = yield MakeChan(cap)
+            channels.append(ch)
+        for ops in worker_ops:
+            yield Go(_worker(channels, ops))
+        yield Sleep(MILLISECOND)
+        yield RunGC()
+        yield RunGC()
+
+    rt.spawn_main(main)
+    outcome = "ok"
+    try:
+        rt.run(until_ns=20 * MILLISECOND, max_instructions=200_000)
+    except GlobalDeadlockError:
+        outcome = "global-deadlock"
+    except GoPanic:
+        outcome = "panic"
+    return rt, outcome
+
+
+program_strategy = st.tuples(
+    st.integers(min_value=1, max_value=4),                 # n_channels
+    st.lists(st.integers(min_value=0, max_value=2),
+             min_size=4, max_size=4),                      # capacities
+    st.lists(st.lists(OPS, min_size=1, max_size=5),
+             min_size=1, max_size=6),                      # workers
+    st.integers(min_value=0, max_value=2 ** 16),           # seed
+    st.sampled_from([1, 2, 4]),                            # procs
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(args=program_strategy)
+def test_no_soundness_violation_in_random_programs(args):
+    """The core property: GOLF never reports a goroutine that the future
+    execution manages to wake (SchedulerError would escape here)."""
+    rt, outcome = _run_random_program(*args)
+    assert outcome in ("ok", "global-deadlock", "panic")
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=program_strategy)
+def test_reported_goroutines_stay_terminal(args):
+    rt, _ = _run_random_program(*args)
+    reported_goids = {r.goid for r in rt.reports}
+    terminal = {GStatus.DEAD, GStatus.PENDING_RECLAIM, GStatus.DEADLOCKED}
+    for g in rt.sched.allgs:
+        if g.goid in reported_goids:
+            assert g.status in terminal
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=program_strategy)
+def test_heap_accounting_consistent(args):
+    rt, _ = _run_random_program(*args)
+    ms = rt.memstats()
+    assert ms.heap_alloc == sum(o.size for o in rt.heap.objects())
+    assert ms.heap_objects == sum(1 for _ in rt.heap.objects())
+    assert rt.heap.total_alloc_bytes >= ms.heap_alloc
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=program_strategy)
+def test_internal_invariants_hold(args):
+    """The schedcheck sweep finds nothing after any random program."""
+    rt, _ = _run_random_program(*args)
+    assert rt.check_invariants() == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(args=program_strategy)
+def test_replays_are_identical(args):
+    rt1, outcome1 = _run_random_program(*args)
+    rt2, outcome2 = _run_random_program(*args)
+    assert outcome1 == outcome2
+    assert rt1.clock.now == rt2.clock.now
+    assert rt1.reports.total() == rt2.reports.total()
+    assert rt1.sched.instructions_executed == rt2.sched.instructions_executed
+
+
+@settings(max_examples=50, deadline=None)
+@given(args=program_strategy)
+def test_golf_subset_of_goleak(args):
+    """Anything GOLF reports must still be visible to goleak at exit
+    (unless it was reclaimed, in which case the report stands alone)."""
+    from repro.baselines.goleak import find_leaks
+    rt, outcome = _run_random_program(*args)
+    if outcome != "ok":
+        return
+    lingering = {
+        (r.go_site, r.block_site) for r in find_leaks(rt)
+    }
+    for report in rt.reports:
+        g = next((g for g in rt.sched.allgs if g.goid == report.goid), None)
+        if g is not None and g.status == GStatus.DEADLOCKED:
+            assert report.dedup_key in lingering

@@ -1,0 +1,137 @@
+"""Property-based tests: random programs over sync primitives.
+
+Complements ``test_prop_runtime`` (channels/select): here random workers
+interact through mutexes and WaitGroups with structurally balanced
+acquire/release sequences (so the only possible blocking is contention,
+never a missing release), and the suite asserts that GOLF stays silent
+— plus mutual-exclusion and counter invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import GolfConfig, Runtime
+from repro.runtime.clock import MICROSECOND, MILLISECOND
+from repro.runtime.instructions import (
+    Go,
+    Lock,
+    NewMutex,
+    NewWaitGroup,
+    RunGC,
+    Sleep,
+    Unlock,
+    WgAdd,
+    WgDone,
+    WgWait,
+    Work,
+)
+
+# Each worker's plan: a list of (mutex_index, hold_work_us) critical
+# sections to execute in order.
+worker_plans = st.lists(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2),
+                  st.integers(min_value=1, max_value=5)),
+        min_size=1, max_size=4,
+    ),
+    min_size=1, max_size=5,
+)
+
+
+def _run_locked_program(plans, seed, procs):
+    rt = Runtime(procs=procs, seed=seed, config=GolfConfig())
+    shared = {"counter": 0, "max_inside": 0, "inside": 0}
+
+    def main():
+        mutexes = []
+        for _ in range(3):
+            mu = yield NewMutex()
+            mutexes.append(mu)
+        wg = yield NewWaitGroup()
+
+        def worker(plan):
+            for mutex_index, hold_us in plan:
+                mu = mutexes[mutex_index]
+                yield Lock(mu)
+                shared["inside"] += 1
+                shared["max_inside"] = max(shared["max_inside"],
+                                           shared["inside"])
+                yield Work(hold_us)
+                shared["counter"] += 1
+                shared["inside"] -= 1
+                yield Unlock(mu)
+            yield WgDone(wg)
+
+        for plan in plans:
+            yield WgAdd(wg, 1)
+            yield Go(worker, plan)
+        yield Sleep(10 * MICROSECOND)
+        yield RunGC()
+        yield WgWait(wg)
+        yield RunGC()
+
+    rt.spawn_main(main)
+    status = rt.run(until_ns=100 * MILLISECOND,
+                    max_instructions=500_000)
+    return rt, status, shared
+
+
+@settings(max_examples=60, deadline=None)
+@given(plans=worker_plans, seed=st.integers(0, 2 ** 16),
+       procs=st.sampled_from([1, 2, 4]))
+def test_contended_locks_never_reported(plans, seed, procs):
+    """Lock contention is not a deadlock: GOLF must stay silent, and the
+    program must complete (no lost wakeups in the semaphore table)."""
+    rt, status, shared = _run_locked_program(plans, seed, procs)
+    assert status == "main-exited"
+    assert rt.reports.total() == 0
+    assert len(rt.sched.semtable) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(plans=worker_plans, seed=st.integers(0, 2 ** 16),
+       procs=st.sampled_from([1, 2, 4]))
+def test_all_critical_sections_execute(plans, seed, procs):
+    rt, status, shared = _run_locked_program(plans, seed, procs)
+    assert shared["counter"] == sum(len(plan) for plan in plans)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    workers=st.integers(min_value=1, max_value=8),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_single_mutex_enforces_mutual_exclusion(workers, seed):
+    """With one shared mutex, at most one worker is ever inside."""
+    plans = [[(0, 3)] for _ in range(workers)]
+    rt, status, shared = _run_locked_program(plans, seed, procs=4)
+    assert status == "main-exited"
+    assert shared["max_inside"] == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    adds=st.integers(min_value=0, max_value=10),
+    seed=st.integers(0, 2 ** 16),
+)
+def test_waitgroup_counter_reaches_zero(adds, seed):
+    rt = Runtime(procs=2, seed=seed, config=GolfConfig())
+    state = {}
+
+    def main():
+        wg = yield NewWaitGroup()
+
+        def done_later(delay):
+            yield Sleep(delay)
+            yield WgDone(wg)
+
+        for i in range(adds):
+            yield WgAdd(wg, 1)
+            yield Go(done_later, (i % 3 + 1) * MICROSECOND)
+        yield WgWait(wg)
+        state["counter_at_wait_return"] = wg.counter
+
+    rt.spawn_main(main)
+    assert rt.run(until_ns=50 * MILLISECOND,
+                  max_instructions=200_000) == "main-exited"
+    assert state["counter_at_wait_return"] == 0
+    assert rt.reports.total() == 0

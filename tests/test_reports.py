@@ -1,0 +1,95 @@
+"""Tests for deadlock reports and deduplication."""
+
+from repro import GolfConfig, Runtime
+from repro.core.reports import DeadlockReport, ReportLog
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import Go, MakeChan, Send, Sleep
+from tests.conftest import run_to_end
+
+
+def _report(go_site="a.go:10", block_site="b.go:20", goid=1, label=""):
+    return DeadlockReport(
+        goid=goid, name=f"g{goid}", label=label, go_site=go_site,
+        block_site=block_site, wait_reason="chan send", stack=["frame"],
+        gc_cycle=1, detected_at_ns=0,
+    )
+
+
+class TestDeadlockReport:
+    def test_dedup_key(self):
+        r = _report()
+        assert r.dedup_key == ("a.go:10", "b.go:20")
+
+    def test_format_mentions_sites(self):
+        text = _report().format()
+        assert "partial deadlock!" in text
+        assert "a.go:10" in text and "b.go:20" in text
+
+
+class TestReportLog:
+    def test_total_counts_individuals(self):
+        log = ReportLog()
+        log.reports.extend([_report(goid=i) for i in range(5)])
+        assert log.total() == 5
+
+    def test_dedup_groups_by_sites(self):
+        log = ReportLog()
+        log.reports.append(_report(goid=1))
+        log.reports.append(_report(goid=2))
+        log.reports.append(_report(goid=3, go_site="c.go:9"))
+        groups = log.deduplicated()
+        assert len(groups) == 2
+        assert len(groups[("a.go:10", "b.go:20")]) == 2
+
+    def test_labels_tally(self):
+        log = ReportLog()
+        log.reports.append(_report(goid=1, label="x"))
+        log.reports.append(_report(goid=2, label="x"))
+        log.reports.append(_report(goid=3, label=""))
+        assert log.labels() == {"x": 2}
+        assert log.has_label("x")
+        assert not log.has_label("y")
+
+    def test_clear(self):
+        log = ReportLog()
+        log.reports.append(_report())
+        log.clear()
+        assert log.total() == 0
+
+
+class TestEndToEndReportContent:
+    def test_report_captures_sites_and_stack(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender():
+                yield Send(ch, 1)
+
+            yield Go(sender, name="leaky")
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        rt.gc()
+        (report,) = list(rt.reports)
+        assert report.label == "leaky"
+        assert "test_reports.py" in report.go_site
+        assert "test_reports.py" in report.block_site
+        assert report.stack  # non-empty stack trace
+        assert report.wait_reason == "chan send"
+        assert report.gc_cycle == 1
+
+    def test_same_site_many_goroutines_dedups_to_one(self, rt):
+        def main():
+            def sender(ch):
+                yield Send(ch, 1)
+
+            for _ in range(4):
+                ch = yield MakeChan(0)
+                yield Go(sender, ch, name="repeat-leak")
+            del ch
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        rt.gc()
+        assert rt.reports.total() == 4
+        assert len(rt.reports.deduplicated()) == 1

@@ -1,0 +1,295 @@
+"""Integration tests: channel operations through the full runtime."""
+
+import pytest
+
+from repro import GlobalDeadlockError, GoPanic, Runtime
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    Close,
+    DEFAULT_CASE,
+    Go,
+    MakeChan,
+    Recv,
+    RecvCase,
+    Select,
+    Send,
+    SendCase,
+    Sleep,
+)
+from tests.conftest import run_to_end
+
+
+class TestSendRecv:
+    def test_unbuffered_rendezvous(self, rt):
+        log = []
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender():
+                yield Send(ch, "hello")
+                log.append("sent")
+
+            yield Go(sender)
+            value, ok = yield Recv(ch)
+            log.append(("received", value, ok))
+            yield Sleep(MICROSECOND)
+
+        assert run_to_end(rt, main) == "main-exited"
+        assert ("received", "hello", True) in log
+        assert "sent" in log
+
+    def test_buffered_send_does_not_block(self, rt):
+        def main():
+            ch = yield MakeChan(2)
+            yield Send(ch, 1)
+            yield Send(ch, 2)
+            v1, _ = yield Recv(ch)
+            v2, _ = yield Recv(ch)
+            assert (v1, v2) == (1, 2)
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_fifo_order_through_runtime(self, rt):
+        received = []
+
+        def main():
+            ch = yield MakeChan(4)
+            for i in range(4):
+                yield Send(ch, i)
+            for _ in range(4):
+                v, _ = yield Recv(ch)
+                received.append(v)
+
+        run_to_end(rt, main)
+        assert received == [0, 1, 2, 3]
+
+    def test_many_senders_one_receiver(self, rt):
+        received = []
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(i):
+                yield Send(ch, i)
+
+            for i in range(5):
+                yield Go(sender, i)
+            for _ in range(5):
+                v, _ = yield Recv(ch)
+                received.append(v)
+
+        run_to_end(rt, main)
+        assert sorted(received) == [0, 1, 2, 3, 4]
+
+    def test_recv_on_closed_gives_zero_value(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            yield Close(ch)
+            value, ok = yield Recv(ch)
+            assert value is None and ok is False
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_range_style_loop_terminates_on_close(self, rt):
+        seen = []
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def producer():
+                for i in range(3):
+                    yield Send(ch, i)
+                yield Close(ch)
+
+            yield Go(producer)
+            while True:
+                value, ok = yield Recv(ch)
+                if not ok:
+                    break
+                seen.append(value)
+
+        run_to_end(rt, main)
+        assert seen == [0, 1, 2]
+
+    def test_send_on_closed_crashes_program(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            yield Close(ch)
+            yield Send(ch, 1)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="closed channel"):
+            rt.run()
+
+    def test_close_of_closed_crashes(self, rt):
+        def main():
+            ch = yield MakeChan(1)
+            yield Close(ch)
+            yield Close(ch)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="close of closed"):
+            rt.run()
+
+    def test_close_wakes_blocked_sender_with_panic(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender():
+                yield Send(ch, 1)
+
+            yield Go(sender)
+            yield Sleep(10 * MICROSECOND)
+            yield Close(ch)
+            yield Sleep(10 * MICROSECOND)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="closed channel"):
+            rt.run()
+
+    def test_nil_send_deadlocks_main(self, rt):
+        def main():
+            yield Send(None, 1)
+
+        rt.spawn_main(main)
+        with pytest.raises(GlobalDeadlockError):
+            rt.run()
+
+
+class TestSelect:
+    def test_default_taken_when_nothing_ready(self, rt):
+        def main():
+            a = yield MakeChan(0)
+            idx, value, ok = yield Select([RecvCase(a)], default=True)
+            assert idx == DEFAULT_CASE and value is None and not ok
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_ready_recv_case_fires(self, rt):
+        def main():
+            a = yield MakeChan(1)
+            b = yield MakeChan(1)
+            yield Send(b, "bee")
+            idx, value, ok = yield Select([RecvCase(a), RecvCase(b)])
+            assert idx == 1 and value == "bee" and ok
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_send_case_fires(self, rt):
+        def main():
+            a = yield MakeChan(1)
+            idx, value, ok = yield Select([SendCase(a, 42)])
+            assert idx == 0 and ok
+            got, _ = yield Recv(a)
+            assert got == 42
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_blocked_select_woken_by_send(self, rt):
+        result = {}
+
+        def main():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+
+            def selector():
+                idx, value, ok = yield Select([RecvCase(a), RecvCase(b)])
+                result["case"] = (idx, value, ok)
+
+            yield Go(selector)
+            yield Sleep(10 * MICROSECOND)
+            yield Send(b, "late")
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert result["case"] == (1, "late", True)
+
+    def test_blocked_select_send_case_woken_by_receiver(self, rt):
+        result = {}
+
+        def main():
+            a = yield MakeChan(0)
+
+            def selector():
+                idx, value, ok = yield Select([SendCase(a, "payload")])
+                result["case"] = (idx, value, ok)
+
+            yield Go(selector)
+            yield Sleep(10 * MICROSECOND)
+            got, _ = yield Recv(a)
+            result["got"] = got
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert result["case"] == (0, None, True)
+        assert result["got"] == "payload"
+
+    def test_losing_cases_are_cancelled(self, rt):
+        def main():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+
+            def selector():
+                yield Select([RecvCase(a), RecvCase(b)])
+
+            yield Go(selector)
+            yield Sleep(10 * MICROSECOND)
+            yield Send(a, 1)
+            yield Sleep(10 * MICROSECOND)
+            # The b-case sudog must be stale now: a send on b must block
+            # rather than complete against the finished selector.
+            idx, _, ok = yield Select([SendCase(b, 2)], default=True)
+            assert idx == DEFAULT_CASE
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_nil_channel_cases_never_fire(self, rt):
+        def main():
+            a = yield MakeChan(1)
+            yield Send(a, 1)
+            idx, value, ok = yield Select([RecvCase(None), RecvCase(a)])
+            assert idx == 1 and value == 1
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_select_choice_is_seed_deterministic(self):
+        def program(seed):
+            picks = []
+            runtime = Runtime(procs=1, seed=seed)
+
+            def main():
+                a = yield MakeChan(1)
+                b = yield MakeChan(1)
+                for _ in range(16):
+                    yield Send(a, "a")
+                    yield Send(b, "b")
+                    _, value, _ = yield Select([RecvCase(a), RecvCase(b)])
+                    picks.append(value)
+                    # Drain the loser so the next round starts fresh.
+                    for ch in (a, b):
+                        yield Select([RecvCase(ch)], default=True)
+
+            runtime.spawn_main(main)
+            runtime.run()
+            return picks
+
+        assert program(5) == program(5)
+        assert program(5) != program(6) or program(5) != program(7)
+
+    def test_select_both_ready_varies(self, rt):
+        picks = set()
+
+        def main():
+            a = yield MakeChan(1)
+            b = yield MakeChan(1)
+            for _ in range(32):
+                yield Send(a, "a")
+                yield Send(b, "b")
+                _, value, _ = yield Select([RecvCase(a), RecvCase(b)])
+                picks.add(value)
+                for ch in (a, b):
+                    yield Select([RecvCase(ch)], default=True)
+
+        run_to_end(rt, main)
+        assert picks == {"a", "b"}

@@ -1,0 +1,307 @@
+"""Tests for the scheduler: dispatch, timers, cores, reuse, determinism."""
+
+import pytest
+
+from repro import GlobalDeadlockError, GoPanic, Runtime
+from repro.errors import InvalidInstruction
+from repro.runtime.clock import MICROSECOND, MILLISECOND
+from repro.runtime.goroutine import GStatus
+from repro.runtime.instructions import (
+    Go,
+    Gosched,
+    MakeChan,
+    Now,
+    Recv,
+    Send,
+    Sleep,
+    Work,
+)
+from repro.runtime.scheduler import RunStatus
+from tests.conftest import run_to_end
+
+
+class TestLifecycle:
+    def test_main_exit_ends_run(self, rt):
+        def main():
+            yield Gosched()
+
+        assert run_to_end(rt, main) == RunStatus.MAIN_EXITED
+
+    def test_main_exit_abandons_other_goroutines(self, rt):
+        def main():
+            def background():
+                while True:
+                    yield Sleep(MICROSECOND)
+
+            yield Go(background)
+
+        run_to_end(rt, main)
+        lingering = [g for g in rt.sched.allgs if g.status != GStatus.DEAD]
+        assert len(lingering) == 1
+
+    def test_timeout_status(self, rt):
+        def main():
+            yield Sleep(MILLISECOND)
+
+        rt.spawn_main(main)
+        assert rt.run(until_ns=10 * MICROSECOND) == RunStatus.TIMEOUT
+        assert rt.clock.now == 10 * MICROSECOND
+
+    def test_instruction_limit(self, rt):
+        def main():
+            while True:
+                yield Gosched()
+
+        rt.spawn_main(main)
+        assert rt.run(max_instructions=100) == RunStatus.INSTRUCTION_LIMIT
+
+    def test_global_deadlock_detected(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            yield Recv(ch)
+
+        rt.spawn_main(main)
+        with pytest.raises(GlobalDeadlockError):
+            rt.run()
+
+    def test_sleeping_goroutine_is_not_global_deadlock(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def waiter():
+                yield Recv(ch)
+
+            yield Go(waiter)
+            yield Sleep(50 * MICROSECOND)
+            yield Send(ch, 1)
+
+        assert run_to_end(rt, main) == RunStatus.MAIN_EXITED
+
+    def test_return_value_recorded(self, rt):
+        def main():
+            yield Gosched()
+            return "result"
+
+        run_to_end(rt, main)
+        assert rt.sched.main_g.finished_value == "result"
+
+    def test_non_generator_body_rejected(self, rt):
+        with pytest.raises(TypeError):
+            rt.spawn_main(lambda: 42)
+
+    def test_yielding_garbage_crashes(self, rt):
+        def main():
+            yield "not an instruction"
+
+        rt.spawn_main(main)
+        with pytest.raises(InvalidInstruction):
+            rt.run()
+
+    def test_user_exception_propagates(self, rt):
+        def main():
+            yield Gosched()
+            raise RuntimeError("user bug")
+
+        rt.spawn_main(main)
+        with pytest.raises(RuntimeError, match="user bug"):
+            rt.run()
+
+    def test_panic_runs_finally_blocks(self, rt):
+        cleaned = []
+
+        def main():
+            ch = yield MakeChan(0)
+
+            def worker():
+                try:
+                    yield Send(ch, 1)  # woken with panic on close
+                finally:
+                    cleaned.append(True)
+
+            yield Go(worker)
+            yield Sleep(10 * MICROSECOND)
+            from repro.runtime.instructions import Close
+            yield Close(ch)
+            yield Sleep(10 * MICROSECOND)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic):
+            rt.run()
+        assert cleaned == [True]
+
+
+class TestTimers:
+    def test_sleep_advances_virtual_time(self, rt):
+        times = {}
+
+        def main():
+            times["before"] = yield Now()
+            yield Sleep(500 * MICROSECOND)
+            times["after"] = yield Now()
+
+        run_to_end(rt, main)
+        assert times["after"] - times["before"] >= 500 * MICROSECOND
+
+    def test_timers_fire_in_order(self, rt):
+        order = []
+
+        def main():
+            def sleeper(ns, tag):
+                yield Sleep(ns)
+                order.append(tag)
+
+            yield Go(sleeper, 30 * MICROSECOND, "c")
+            yield Go(sleeper, 10 * MICROSECOND, "a")
+            yield Go(sleeper, 20 * MICROSECOND, "b")
+            yield Sleep(100 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert order == ["a", "b", "c"]
+
+    def test_timer_fires_while_processor_busy(self):
+        """The fix for the timer/busy-processor bug: with 2 cores, a
+        sleeper must wake on the idle core despite long work elsewhere."""
+        rt = Runtime(procs=2, seed=1)
+        times = {}
+
+        def main():
+            def hog():
+                yield Work(500)  # 500us non-preemptible
+
+            yield Go(hog)
+            t0 = yield Now()
+            yield Sleep(10 * MICROSECOND)
+            times["delay"] = (yield Now()) - t0
+
+        rt.spawn_main(main)
+        rt.run()
+        assert times["delay"] < 50 * MICROSECOND
+
+
+class TestVirtualCores:
+    def test_single_core_serializes_work(self):
+        rt = Runtime(procs=1, seed=1)
+        times = {}
+
+        def main():
+            def hog():
+                yield Work(100)
+
+            t0 = yield Now()
+            yield Go(hog)
+            yield Sleep(MICROSECOND)
+            times["elapsed"] = (yield Now()) - t0
+
+        rt.spawn_main(main)
+        rt.run()
+        # On one core the hog's 100us of non-preemptible work must fit
+        # somewhere between the spawn and the post-sleep resumption.
+        assert times["elapsed"] >= 100 * MICROSECOND
+
+    def test_two_cores_run_work_in_parallel(self):
+        rt = Runtime(procs=2, seed=1)
+
+        def main():
+            done = yield MakeChan(0)
+
+            def hog(tag):
+                yield Work(100)
+                yield Send(done, tag)
+
+            yield Go(hog, "x")
+            yield Go(hog, "y")
+            yield Recv(done)
+            yield Recv(done)
+
+        rt.spawn_main(main)
+        rt.run()
+        # Two 100us jobs in parallel finish in ~100us, not ~200us.
+        assert rt.clock.now < 180 * MICROSECOND
+
+    def test_invalid_proc_count_rejected(self):
+        with pytest.raises(ValueError):
+            Runtime(procs=0)
+
+
+class TestDeterminism:
+    def _trace(self, seed, procs=2):
+        rt = Runtime(procs=procs, seed=seed)
+        trace = []
+
+        def main():
+            ch = yield MakeChan(4)
+
+            def worker(i):
+                yield Work(1)
+                yield Send(ch, i)
+
+            for i in range(4):
+                yield Go(worker, i)
+            for _ in range(4):
+                v, _ = yield Recv(ch)
+                trace.append(v)
+
+        rt.spawn_main(main)
+        rt.run()
+        return trace
+
+    def test_same_seed_same_schedule(self):
+        assert self._trace(3) == self._trace(3)
+
+    def test_different_seeds_differ_somewhere(self):
+        traces = {tuple(self._trace(s)) for s in range(8)}
+        assert len(traces) > 1
+
+
+class TestGoroutineReuse:
+    def test_descriptors_recycled(self, rt):
+        def main():
+            def short():
+                yield Gosched()
+
+            for _ in range(10):
+                yield Go(short)
+                yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert rt.sched.goroutines_reused > 0
+        # Far fewer descriptors than goroutines ever spawned.
+        assert len(rt.sched.allgs) < rt.sched.goroutines_spawned
+
+    def test_goids_stay_unique_across_reuse(self, rt):
+        seen = []
+
+        def main():
+            def short():
+                yield Gosched()
+
+            for _ in range(6):
+                g = yield Go(short)
+                seen.append(g.goid)
+                yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert len(set(seen)) == len(seen)
+
+    def test_spawn_sites_recorded(self, rt):
+        children = []
+
+        def main():
+            def child():
+                yield Gosched()
+
+            g = yield Go(child)
+            children.append(g)
+            yield Sleep(5 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert "test_scheduler.py" in children[0].go_site
+
+
+class TestCpuAccounting:
+    def test_busy_time_accumulates(self, rt):
+        def main():
+            yield Work(100)
+
+        run_to_end(rt, main)
+        assert rt.sched.cpu_busy_ns >= 100 * MICROSECOND

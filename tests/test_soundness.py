@@ -1,0 +1,244 @@
+"""Soundness tests: GOLF must never report a semantically live goroutine.
+
+The paper's central claim (section 4.3): ``LIVE(g) => LIVE+(g)``.  The
+scheduler enforces the contrapositive at runtime — any wakeup delivered
+to a goroutine in a reported-deadlocked state raises ``SchedulerError``
+— so these tests run programs whose blocked goroutines are *eventually*
+rescued through ever more indirect reference paths, force GC cycles at
+adversarial moments, and require (a) no report, (b) clean completion.
+"""
+
+import pytest
+
+from repro import GolfConfig, Runtime
+from repro.runtime.clock import MICROSECOND, MILLISECOND
+from repro.runtime.instructions import (
+    Alloc,
+    Go,
+    Lock,
+    MakeChan,
+    NewMutex,
+    NewWaitGroup,
+    Recv,
+    RunGC,
+    Send,
+    SetGlobal,
+    Sleep,
+    Unlock,
+    WgAdd,
+    WgDone,
+    WgWait,
+)
+from repro.runtime.objects import Box, Struct
+from tests.conftest import run_to_end
+
+
+def _assert_clean(rt, main):
+    status = run_to_end(rt, main)
+    assert status == "main-exited"
+    assert rt.reports.total() == 0, (
+        f"sound detector must not report: {list(rt.reports)}"
+    )
+
+
+class TestEventuallyRescued:
+    def test_late_receive_direct(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender():
+                yield Send(ch, 1)
+
+            yield Go(sender)
+            yield Sleep(50 * MICROSECOND)
+            yield RunGC()  # sender blocked, but ch is on main's stack
+            yield Recv(ch)
+
+        _assert_clean(rt, main)
+
+    def test_rescue_through_heap_indirection(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            holder = yield Alloc(Struct(inner=None))
+            inner = yield Alloc(Box(ch))
+            holder["inner"] = inner
+            del ch, inner  # only reachable via holder -> inner -> ch
+
+            def blocked():
+                target = holder["inner"].value
+                yield Send(target, "msg")
+
+            yield Go(blocked)
+            yield Sleep(50 * MICROSECOND)
+            yield RunGC()
+            yield Recv(holder["inner"].value)
+
+        _assert_clean(rt, main)
+
+    def test_rescue_through_global(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+            yield SetGlobal("rescue.ch", ch)
+            del ch
+
+            def sender():
+                from repro.runtime.instructions import GetGlobal
+                target = yield GetGlobal("rescue.ch")
+                yield Send(target, 1)
+
+            yield Go(sender)
+            yield Sleep(50 * MICROSECOND)
+            yield RunGC()
+            from repro.runtime.instructions import GetGlobal
+            target = yield GetGlobal("rescue.ch")
+            yield Recv(target)
+
+        _assert_clean(rt, main)
+
+    def test_rescue_through_chain_of_blocked_goroutines(self, rt):
+        def main():
+            head = yield MakeChan(0)
+
+            def stage(src, depth):
+                if depth > 0:
+                    dst = yield MakeChan(0)
+                    yield Go(stage, dst, depth - 1)
+                    value, _ = yield Recv(src)
+                    yield Send(dst, value)
+                else:
+                    yield Recv(src)
+
+            yield Go(stage, head, 5)
+            yield Sleep(50 * MICROSECOND)
+            yield RunGC()  # whole chain blocked but reachable via head
+            yield Send(head, "flow")
+            yield Sleep(50 * MICROSECOND)
+
+        _assert_clean(rt, main)
+
+    def test_rescue_after_many_gc_cycles(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender():
+                yield Send(ch, 1)
+
+            yield Go(sender)
+            for _ in range(5):
+                yield Sleep(20 * MICROSECOND)
+                yield RunGC()
+            yield Recv(ch)
+
+        _assert_clean(rt, main)
+
+    def test_mutex_holder_eventually_unlocks(self, rt):
+        def main():
+            mu = yield NewMutex()
+            done = yield MakeChan(1)
+            yield Lock(mu)
+
+            def contender():
+                yield Lock(mu)
+                yield Unlock(mu)
+                yield Send(done, ())
+
+            yield Go(contender)
+            yield Sleep(30 * MICROSECOND)
+            yield RunGC()  # contender blocked; mu on main's stack: live
+            yield Unlock(mu)
+            yield Recv(done)
+
+        _assert_clean(rt, main)
+
+    def test_waitgroup_released_after_gc(self, rt):
+        def main():
+            wg = yield NewWaitGroup()
+            yield WgAdd(wg, 1)
+            done = yield MakeChan(1)
+
+            def waiter():
+                yield WgWait(wg)
+                yield Send(done, ())
+
+            yield Go(waiter)
+            yield Sleep(30 * MICROSECOND)
+            yield RunGC()
+            yield WgDone(wg)
+            yield Recv(done)
+
+        _assert_clean(rt, main)
+
+    def test_value_in_channel_buffer_keeps_target_live(self, rt):
+        """A channel riding inside another channel's buffer is reachable
+        through that buffer, so its blocked sender must stay live and be
+        rescuable by whoever later drains the carrier."""
+        def main():
+            inner = yield MakeChan(0)
+            carrier = yield MakeChan(1)
+            yield Send(carrier, inner)
+
+            def sender():
+                yield Send(inner, "x")
+
+            yield Go(sender)
+            del inner  # now only reachable via the carrier's buffer
+            yield Sleep(30 * MICROSECOND)
+            yield RunGC()
+            target, _ = yield Recv(carrier)
+            yield Recv(target)  # rescue
+
+        _assert_clean(rt, main)
+
+    def test_concurrent_gc_during_handoff_storm(self, rt):
+        """GC forced between every hop of a message relay: every blocked
+        goroutine is always reachable from the live relay chain."""
+        def main():
+            chans = []
+            for _ in range(6):
+                ch = yield MakeChan(0)
+                chans.append(ch)
+
+            def relay(src, dst):
+                value, _ = yield Recv(src)
+                yield Send(dst, value)
+
+            for i in range(5):
+                yield Go(relay, chans[i], chans[i + 1])
+            gc_driver_done = yield MakeChan(1)
+
+            def gc_driver():
+                for _ in range(8):
+                    yield Sleep(5 * MICROSECOND)
+                    yield RunGC()
+                yield Send(gc_driver_done, ())
+
+            yield Go(gc_driver)
+            yield Sleep(20 * MICROSECOND)
+            yield Send(chans[0], "token")
+            value, _ = yield Recv(chans[5])
+            assert value == "token"
+            yield Recv(gc_driver_done)
+
+        _assert_clean(rt, main)
+
+
+class TestReclaimIsFinal:
+    def test_reclaimed_goroutine_cannot_be_woken(self, rt):
+        """Once GOLF reclaims a goroutine, nothing can resurrect it; the
+        channel it waited on is simply gone."""
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, ch, name="goner")
+            del ch
+            yield Sleep(20 * MICROSECOND)
+            yield RunGC()
+            yield RunGC()
+            yield Sleep(20 * MICROSECOND)
+
+        status = run_to_end(rt, main)
+        assert status == "main-exited"
+        assert rt.reports.total() == 1

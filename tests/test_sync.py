@@ -1,0 +1,373 @@
+"""Integration tests for the ``sync`` package through the runtime."""
+
+import pytest
+
+from repro import GoPanic
+from repro.runtime.clock import MICROSECOND
+from repro.runtime.instructions import (
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    Go,
+    Lock,
+    MakeChan,
+    NewCond,
+    NewMutex,
+    NewOnce,
+    NewRWMutex,
+    NewSema,
+    NewWaitGroup,
+    OnceDo,
+    Recv,
+    RLock,
+    RUnlock,
+    SemAcquire,
+    SemRelease,
+    Send,
+    Sleep,
+    Unlock,
+    WgAdd,
+    WgDone,
+    WgWait,
+    Work,
+)
+from tests.conftest import run_to_end
+
+
+class TestMutex:
+    def test_lock_unlock(self, rt):
+        def main():
+            mu = yield NewMutex()
+            yield Lock(mu)
+            assert mu.locked
+            yield Unlock(mu)
+            assert not mu.locked
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_mutual_exclusion(self, rt):
+        trace = []
+
+        def main():
+            mu = yield NewMutex()
+            done = yield MakeChan(0)
+
+            def worker(name):
+                yield Lock(mu)
+                trace.append((name, "enter"))
+                yield Work(5)
+                trace.append((name, "exit"))
+                yield Unlock(mu)
+                yield Send(done, name)
+
+            yield Go(worker, "a")
+            yield Go(worker, "b")
+            yield Recv(done)
+            yield Recv(done)
+
+        run_to_end(rt, main)
+        # No interleaving inside the critical section.
+        assert trace[0][0] == trace[1][0]
+        assert trace[2][0] == trace[3][0]
+
+    def test_unlock_of_unlocked_panics(self, rt):
+        def main():
+            mu = yield NewMutex()
+            yield Unlock(mu)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="unlock of unlocked"):
+            rt.run()
+
+    def test_unlock_hands_off_to_waiter(self, rt):
+        order = []
+
+        def main():
+            mu = yield NewMutex()
+            yield Lock(mu)
+
+            def contender():
+                yield Lock(mu)
+                order.append("contender-locked")
+                yield Unlock(mu)
+
+            yield Go(contender)
+            yield Sleep(10 * MICROSECOND)
+            order.append("releasing")
+            yield Unlock(mu)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert order == ["releasing", "contender-locked"]
+
+
+class TestRWMutex:
+    def test_multiple_readers(self, rt):
+        def main():
+            rw = yield NewRWMutex()
+            yield RLock(rw)
+            yield RLock(rw)
+            assert rw.readers == 2
+            yield RUnlock(rw)
+            yield RUnlock(rw)
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_writer_excludes_readers(self, rt):
+        result = {}
+
+        def main():
+            rw = yield NewRWMutex()
+            yield Lock(rw)
+
+            def reader():
+                yield RLock(rw)
+                result["read"] = True
+                yield RUnlock(rw)
+
+            yield Go(reader)
+            yield Sleep(10 * MICROSECOND)
+            result["read_before_unlock"] = result.get("read", False)
+            yield Unlock(rw)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert result["read_before_unlock"] is False
+        assert result["read"] is True
+
+    def test_waiting_writer_blocks_new_readers(self, rt):
+        result = {}
+
+        def main():
+            rw = yield NewRWMutex()
+            yield RLock(rw)
+
+            def writer():
+                yield Lock(rw)
+                result["wrote"] = True
+                yield Unlock(rw)
+
+            yield Go(writer)
+            yield Sleep(10 * MICROSECOND)
+
+            def late_reader():
+                yield RLock(rw)
+                result["late_read"] = True
+                yield RUnlock(rw)
+
+            yield Go(late_reader)
+            yield Sleep(10 * MICROSECOND)
+            result["late_read_while_writer_waits"] = result.get(
+                "late_read", False)
+            yield RUnlock(rw)
+            yield Sleep(20 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert result["late_read_while_writer_waits"] is False
+        assert result["wrote"] is True
+        assert result["late_read"] is True
+
+    def test_runlock_without_rlock_panics(self, rt):
+        def main():
+            rw = yield NewRWMutex()
+            yield RUnlock(rw)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic):
+            rt.run()
+
+
+class TestWaitGroup:
+    def test_wait_returns_when_counter_zero(self, rt):
+        def main():
+            wg = yield NewWaitGroup()
+            yield WgWait(wg)  # counter already zero
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_workers_release_waiter(self, rt):
+        completed = []
+
+        def main():
+            wg = yield NewWaitGroup()
+
+            def worker(i):
+                yield Work(2)
+                completed.append(i)
+                yield WgDone(wg)
+
+            for i in range(4):
+                yield WgAdd(wg, 1)
+                yield Go(worker, i)
+            yield WgWait(wg)
+            completed.append("joined")
+
+        run_to_end(rt, main)
+        assert completed[-1] == "joined"
+        assert sorted(completed[:-1]) == [0, 1, 2, 3]
+
+    def test_negative_counter_panics(self, rt):
+        def main():
+            wg = yield NewWaitGroup()
+            yield WgDone(wg)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="negative"):
+            rt.run()
+
+    def test_add_releases_all_waiters(self, rt):
+        released = []
+
+        def main():
+            wg = yield NewWaitGroup()
+            yield WgAdd(wg, 1)
+
+            def waiter(i):
+                yield WgWait(wg)
+                released.append(i)
+
+            for i in range(3):
+                yield Go(waiter, i)
+            yield Sleep(10 * MICROSECOND)
+            yield WgDone(wg)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert sorted(released) == [0, 1, 2]
+
+
+class TestCond:
+    def test_signal_wakes_one(self, rt):
+        woken = []
+
+        def main():
+            mu = yield NewMutex()
+            cond = yield NewCond(mu)
+
+            def waiter(i):
+                yield Lock(mu)
+                yield CondWait(cond)
+                woken.append(i)
+                yield Unlock(mu)
+
+            for i in range(2):
+                yield Go(waiter, i)
+            yield Sleep(10 * MICROSECOND)
+            yield Lock(mu)
+            yield CondSignal(cond)
+            yield Unlock(mu)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert len(woken) == 1
+
+    def test_broadcast_wakes_all(self, rt):
+        woken = []
+
+        def main():
+            mu = yield NewMutex()
+            cond = yield NewCond(mu)
+
+            def waiter(i):
+                yield Lock(mu)
+                yield CondWait(cond)
+                woken.append(i)
+                yield Unlock(mu)
+
+            for i in range(3):
+                yield Go(waiter, i)
+            yield Sleep(10 * MICROSECOND)
+            yield Lock(mu)
+            yield CondBroadcast(cond)
+            yield Unlock(mu)
+            yield Sleep(20 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_wait_releases_locker(self, rt):
+        result = {}
+
+        def main():
+            mu = yield NewMutex()
+            cond = yield NewCond(mu)
+
+            def waiter():
+                yield Lock(mu)
+                yield CondWait(cond)
+                yield Unlock(mu)
+
+            yield Go(waiter)
+            yield Sleep(10 * MICROSECOND)
+            # If Wait did not release the locker this would deadlock.
+            yield Lock(mu)
+            result["acquired"] = True
+            yield CondSignal(cond)
+            yield Unlock(mu)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert result["acquired"] is True
+
+    def test_signal_without_waiters_is_noop(self, rt):
+        def main():
+            mu = yield NewMutex()
+            cond = yield NewCond(mu)
+            yield CondSignal(cond)
+            yield CondBroadcast(cond)
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_wait_without_lock_panics(self, rt):
+        def main():
+            mu = yield NewMutex()
+            cond = yield NewCond(mu)
+            yield CondWait(cond)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="unlock of unlocked"):
+            rt.run()
+
+
+class TestOnce:
+    def test_runs_exactly_once(self, rt):
+        calls = []
+
+        def main():
+            once = yield NewOnce()
+            for i in range(3):
+                yield OnceDo(once, lambda i=i: calls.append(i))
+
+        run_to_end(rt, main)
+        assert calls == [0]
+
+
+class TestSemaphore:
+    def test_acquire_release(self, rt):
+        def main():
+            sema = yield NewSema(1)
+            yield SemAcquire(sema)
+            assert sema.count == 0
+            yield SemRelease(sema)
+            assert sema.count == 1
+
+        assert run_to_end(rt, main) == "main-exited"
+
+    def test_release_wakes_waiter(self, rt):
+        order = []
+
+        def main():
+            sema = yield NewSema(0)
+
+            def acquirer():
+                yield SemAcquire(sema)
+                order.append("acquired")
+
+            yield Go(acquirer)
+            yield Sleep(10 * MICROSECOND)
+            order.append("releasing")
+            yield SemRelease(sema)
+            yield Sleep(10 * MICROSECOND)
+
+        run_to_end(rt, main)
+        assert order == ["releasing", "acquired"]
