@@ -96,6 +96,36 @@ def _cmd_tester(args) -> str:
     return text
 
 
+def _cmd_chaos(args) -> str:
+    import json
+
+    from repro.chaos import run_chaos_campaign
+
+    if args.seeds < 1:
+        raise SystemExit("chaos: --seeds must be at least 1 "
+                         "(an empty campaign would be vacuously clean)")
+
+    report = run_chaos_campaign(
+        seeds=args.seeds,
+        scenario=args.scenario,
+        base_seed=args.base_seed,
+        procs=args.procs,
+        keep_traces=args.traces,
+    )
+    artifact_dir = args.json_dir
+    os.makedirs(artifact_dir, exist_ok=True)
+    path = os.path.join(
+        artifact_dir,
+        f"chaos-{args.scenario}-s{args.base_seed}-n{args.seeds}.json")
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=2)
+    text = report.format() + f"\n  artifact        : {path}"
+    if not report.clean:
+        # A dirty campaign is a soundness bug; make the process say so.
+        raise SystemExit(text + "\nchaos campaign FAILED")
+    return text
+
+
 def _cmd_ablations(args) -> str:
     sections = [
         ("fixpoint strategy", FixpointAblation().run().format()),
@@ -116,6 +146,7 @@ _COMMANDS: Dict[str, Callable] = {
     "rq1c": _cmd_rq1c,
     "ablations": _cmd_ablations,
     "tester": _cmd_tester,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -162,6 +193,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perf", action="store_true",
                    help="also emit the results-perf.csv comparison")
 
+    p = sub.add_parser(
+        "chaos", help="seeded fault-injection campaign (soundness "
+                      "under chaos); exits non-zero on any violation")
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of seeded fault schedules to run")
+    p.add_argument("--scenario", default="mixed",
+                   help="fault mix (see repro.chaos.scenarios)")
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--traces", action="store_true",
+                   help="include per-schedule fault traces in the JSON")
+    p.add_argument("--json-dir", default="benchmarks/out",
+                   help="directory for the campaign JSON artifact")
+
     p = sub.add_parser("all", help="regenerate everything")
     p.add_argument("--runs", type=int, default=30)
     p.add_argument("--duration", type=int, default=15)
@@ -184,7 +229,9 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "all":
-        commands = [c for c in _COMMANDS if c != "tester"]
+        # tester and chaos have their own flags and fail semantics; they
+        # run as explicit subcommands only.
+        commands = [c for c in _COMMANDS if c not in ("tester", "chaos")]
     else:
         commands = [args.command]
     for name in commands:

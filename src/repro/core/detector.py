@@ -102,7 +102,8 @@ def initial_roots(
 
 def detect(heap: Heap, goroutines: Sequence[Goroutine],
            on_the_fly: bool = False,
-           dead_global_hints: frozenset = frozenset()) -> DetectionResult:
+           dead_global_hints: frozenset = frozenset(),
+           extra_roots: Sequence[HeapObject] = ()) -> DetectionResult:
     """Compute reachable liveness over ``goroutines``.
 
     Expects :meth:`Heap.begin_cycle` to have been called (fresh mark
@@ -113,6 +114,12 @@ def detect(heap: Heap, goroutines: Sequence[Goroutine],
     ``dead_global_hints`` removes the named globals from the liveness
     roots; since hinted objects are ordinary heap allocations, the
     reachability check then treats them like any other unmarked object.
+
+    ``extra_roots`` are additional live references the runtime knows
+    about beyond goroutine stacks and globals — the operands of
+    instructions in flight on virtual processors.  Their owners are
+    running goroutines (already roots), so including them cannot make a
+    blocked goroutine live that Go's precise stack scan would not.
     """
     result = DetectionResult()
     candidates = [
@@ -121,6 +128,7 @@ def detect(heap: Heap, goroutines: Sequence[Goroutine],
     ]
     masking.mask_blocked_goroutines(goroutines)
     roots = initial_roots(heap, goroutines, dead_global_hints)
+    roots.extend(extra_roots)
 
     if on_the_fly:
         _detect_on_the_fly(heap, candidates, roots, result)

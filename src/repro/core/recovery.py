@@ -15,6 +15,38 @@ GOLF therefore splits detection and recovery across two GC cycles:
   down (the scheduler purges sudogs and semaphore-table entries, and the
   body generator is dropped unresumed so deferred code cannot run); their
   now-unreferenced memory is swept in the normal way.
+
+Deferred code and forced reclaim — an intentional asymmetry
+-----------------------------------------------------------
+
+A *panicking* goroutine runs its deferred code: the scheduler throws the
+panic into the body, so ``try``/``finally`` blocks and ``Defer``-registered
+callables execute during the unwind, exactly as Go runs defers while a
+panic propagates.  A *reclaimed* goroutine does **not**: its body is
+dropped at the blocked yield point without ever being resumed, so for the
+whole lifetime of the simulated program neither its ``finally`` blocks
+nor its ``defers`` list run (the descriptor's cleanup discards the
+``Defer``-registered callables outright — they *never* execute).  The
+one host-level caveat: CPython must eventually unwind the suspended
+frame, so :meth:`Runtime.shutdown` closes the parked body as part of
+tearing the process down — at that point a ``try/finally`` written in
+the body does execute Python-side, but every instruction it yields is
+discarded, so it cannot touch channels, locks, or the heap.  This is
+the simulated analog of process exit, where Go does not run pending
+defers either.
+
+This mirrors GOLF's design rather than a limitation of the simulator.  A
+deadlocked goroutine is, by the detector's proof, permanently blocked: in
+the unmodified runtime its defers would *never* have run either — the
+goroutine would simply sit blocked until process exit.  Running them at
+reclaim time would therefore *introduce* behavior the original program
+could not exhibit (the same argument §5.5 makes for finalizers, except
+finalizers get the conservative keep-alive treatment because collection
+itself would otherwise trigger them; defers have no such trigger and can
+be dropped outright).  The regression tests in
+``tests/test_panic_recover.py`` pin both halves of this contract:
+panicked goroutines' ``finally`` blocks run, reclaimed goroutines' do
+not.
 """
 
 from __future__ import annotations

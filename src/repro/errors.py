@@ -16,13 +16,33 @@ class ReproError(Exception):
 class GoPanic(ReproError):
     """A Go ``panic`` inside a simulated goroutine.
 
-    Unless recovered (not modeled), a panic in any goroutine crashes the
-    whole simulated program, as in Go.
+    Thrown into the goroutine body by the scheduler so ``try``/``finally``
+    and ``except GoPanic`` blocks (the ``defer``/``recover`` analogs) run.
+    Unless recovered (``yield Recover()`` or a Python-level catch), a
+    panic escaping any goroutine crashes the whole simulated program, as
+    in Go — except when ``goroutine_scoped`` is set, in which case only
+    the panicking goroutine dies (used by the chaos fault injector, whose
+    faults must never take down the simulated process).
     """
+
+    #: When True, an unrecovered panic kills only the goroutine it was
+    #: delivered to instead of crashing the simulated program.
+    goroutine_scoped = False
 
     def __init__(self, message: str):
         super().__init__(message)
         self.message = message
+
+
+class InjectedPanic(GoPanic):
+    """A panic injected by the chaos engine (:mod:`repro.chaos`).
+
+    Goroutine-scoped: the victim unwinds (its ``try/finally`` defers
+    run) and dies, but the simulated program keeps running — the point
+    of fault injection is to perturb the runtime, not to end the run.
+    """
+
+    goroutine_scoped = True
 
 
 class SendOnClosedChannel(GoPanic):

@@ -92,6 +92,7 @@ def fuzz_program(
     budget_ns: int = 50 * MILLISECOND,
     max_instructions: int = 2_000_000,
     config_factory: Optional[Callable[[], GolfConfig]] = None,
+    chaos_scenario: Optional[str] = None,
 ) -> FuzzResult:
     """Run ``main_factory()`` under ``profiles`` select orderings.
 
@@ -99,6 +100,13 @@ def fuzz_program(
     call (programs are single-use).  Each run uses GOLF with recovery and
     two forced end-of-run GC cycles; detected deadlock labels are
     aggregated per profile.
+
+    ``chaos_scenario`` composes GFuzz with the chaos engine: each
+    profile's run additionally carries a seeded fault plan of that
+    scenario (seed = ``base_seed + profile_id``, so the combination
+    stays reproducible).  Select-ordering exploration and fault
+    injection perturb different axes — orderings choose *which* path
+    executes, faults break things *along* the path.
     """
     if profiles < 1:
         raise ValueError("need at least one profile")
@@ -108,6 +116,12 @@ def fuzz_program(
         rt = Runtime(procs=procs, seed=base_seed + profile_id,
                      config=config)
         rt.sched.select_policy = SelectProfile(profile_id).choose
+        if chaos_scenario is not None:
+            from repro.chaos import FaultInjector, FaultPlan, get_scenario
+
+            plan = FaultPlan(base_seed + profile_id,
+                             get_scenario(chaos_scenario))
+            FaultInjector(rt, plan).install()
         rt.spawn_main(main_factory())
         try:
             status = rt.run(until_ns=budget_ns,

@@ -63,6 +63,21 @@ class Collector:
             return self.collect(reason="pacer")
         return None
 
+    def perturb_pacing(self, factor: float) -> None:
+        """Scale the next pacer trigger by ``factor`` (chaos hook).
+
+        ``factor > 1`` delays the next organic collection, ``factor < 1``
+        hastens it — perturbing *when* GC runs without touching what a
+        cycle does.  GOLF's guarantees must be cadence-independent
+        (paper §6.2 runs detection on arbitrary cycles), which the chaos
+        suite verifies by fuzzing exactly this knob.
+        """
+        if factor <= 0:
+            raise ValueError("pacing factor must be positive")
+        self._next_target = max(
+            self.config.min_heap_bytes, int(self._next_target * factor)
+        )
+
     # -- the cycle ----------------------------------------------------------
 
     def collect(self, reason: str = "forced") -> CycleStats:
@@ -140,6 +155,7 @@ class Collector:
         roots = [self.heap.globals] + [
             g for g in self.sched.allgs if g.status != GStatus.DEAD
         ]
+        roots.extend(self.sched.inflight_heap_refs())
         work, _ = mark_from(self.heap, roots, respect_masks=False)
         cs.mark_iterations = 1
         cs.mark_work_units = work
@@ -150,6 +166,7 @@ class Collector:
             self.heap, self.sched.allgs,
             on_the_fly=self.config.on_the_fly_roots,
             dead_global_hints=self.config.dead_global_hints,
+            extra_roots=self.sched.inflight_heap_refs(),
         )
         cs.mark_iterations = det.mark_iterations
         cs.mark_work_units = det.mark_work_units

@@ -110,6 +110,7 @@ class Heap:
         obj.addr = self._next_addr
         self._next_addr += max(obj.size, 16)
         self._objects[obj.addr] = obj
+        obj._heap = self
         self.total_alloc_bytes += obj.size
         self.total_alloc_objects += 1
         if pinned:
@@ -129,6 +130,7 @@ class Heap:
             self.total_freed_bytes += obj.size
             self.total_freed_objects += 1
             self._pinned.discard(obj.addr)
+            obj._heap = None
 
     # -- introspection ----------------------------------------------------
 
@@ -199,6 +201,7 @@ class Heap:
             to_free.append(obj)
         for obj in to_free:
             del self._objects[obj.addr]
+            obj._heap = None
             freed_objects += 1
             freed_bytes += obj.size
         self.total_freed_objects += freed_objects

@@ -8,7 +8,7 @@ reclamation) runs before the program exits.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Callable, Optional, Set
 
 from repro.core.config import GolfConfig
 from repro.errors import GoPanic, ReproError
@@ -65,6 +65,7 @@ def run_microbenchmark(
     instances: int = 1,
     use_fixed: bool = False,
     settle_ns: int = SETTLE_NS,
+    rt_hook: Optional[Callable[[Runtime], None]] = None,
 ) -> MicrobenchResult:
     """Execute one microbenchmark under the given runtime configuration.
 
@@ -72,12 +73,19 @@ def run_microbenchmark(
     detected, plus GC metrics for the overhead experiments.  A benchmark
     panic (e.g. etcd/7443's occasional send-on-closed-channel, noted in
     the paper's artifact appendix) is recorded, not raised.
+
+    ``rt_hook`` is called with the freshly built :class:`Runtime` before
+    the main goroutine is spawned — the chaos engine uses it to install
+    its fault injector (and tests use it to attach tracers) while still
+    reusing this exact template.
     """
     body = bench.fixed if use_fixed else bench.body
     if body is None:
         raise ValueError(f"benchmark {bench.name} has no fixed variant")
     result = MicrobenchResult(bench.name, procs, seed)
     rt = Runtime(procs=procs, seed=seed, config=config or GolfConfig())
+    if rt_hook is not None:
+        rt_hook(rt)
 
     def main():
         # A resident working set, as real programs have: gives the

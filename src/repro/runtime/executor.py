@@ -438,6 +438,17 @@ def _exec_panic(sched, g, instr: ins.Panic) -> None:
     raise GoPanic(instr.message)
 
 
+def _exec_recover(sched, g, instr: ins.Recover) -> None:
+    panic = g.panicking
+    g.panicking = None
+    sched.resume(g, panic.message if panic is not None else None)
+
+
+def _exec_defer(sched, g, instr: ins.Defer) -> None:
+    g.defers.append(instr.fn)
+    sched.resume(g, None)
+
+
 _HANDLERS = {
     ins.MakeChan: _exec_make_chan,
     ins.Send: _exec_send,
@@ -475,4 +486,6 @@ _HANDLERS = {
     ins.SetGlobal: _exec_set_global,
     ins.GetGlobal: _exec_get_global,
     ins.Panic: _exec_panic,
+    ins.Recover: _exec_recover,
+    ins.Defer: _exec_defer,
 }

@@ -91,6 +91,7 @@ class Goroutine(HeapObject):
         "go_site", "parent_goid", "wake_at", "stack_bytes",
         "masked", "reported", "blocking_sema", "is_system",
         "spawned", "finished_value", "deadlock_label",
+        "panicking", "defers",
     )
 
     kind = "goroutine"
@@ -126,6 +127,14 @@ class Goroutine(HeapObject):
         #: Label used by the microbenchmark harness to tie a goroutine to
         #: an annotated leaky ``go`` instruction.
         self.deadlock_label: str = ""
+        #: The in-flight panic, while the body is unwinding (set when the
+        #: scheduler throws a :class:`~repro.errors.GoPanic` into the
+        #: body; cleared by ``Recover`` or at termination).
+        self.panicking: Optional[BaseException] = None
+        #: LIFO stack of non-blocking deferred callables (``Defer``
+        #: instruction).  Run at normal exit and on panic unwind — but
+        #: *never* when GOLF forcibly reclaims the goroutine.
+        self.defers: List[Any] = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -150,6 +159,8 @@ class Goroutine(HeapObject):
         self.blocking_sema = None
         self.finished_value = None
         self.deadlock_label = ""
+        self.panicking = None
+        self.defers = []
 
     def finish(self) -> None:
         """Regular termination: reached the end of the body."""
@@ -160,6 +171,8 @@ class Goroutine(HeapObject):
         self.sudogs = []
         self.stack_bytes = 0
         self.blocking_sema = None
+        self.panicking = None
+        self.defers = []
 
     def cleanup_after_deadlock(self) -> None:
         """GOLF's special cleanup for forcibly reclaimed goroutines.
@@ -173,7 +186,8 @@ class Goroutine(HeapObject):
 
         The body generator is *dropped without being resumed*: deferred
         work in the goroutine must not run, matching GOLF's forced
-        shutdown.
+        shutdown.  The ``defers`` list is likewise discarded unexecuted
+        (see :mod:`repro.core.recovery` for why this is intentional).
         """
         for sd in self.sudogs:
             sd.active = False
@@ -188,6 +202,8 @@ class Goroutine(HeapObject):
         self.gen = None
         self.status = GStatus.DEAD
         self.stack_bytes = 0
+        self.panicking = None
+        self.defers = []
 
     # -- state queries -----------------------------------------------------
 

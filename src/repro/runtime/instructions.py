@@ -452,9 +452,53 @@ class GetGlobal(Instruction):
 
 class Panic(Instruction):
     """``panic(message)`` — unwinds the goroutine and (unrecovered)
-    crashes the simulated program."""
+    crashes the simulated program.
+
+    The panic is thrown into the goroutine body, so ``try/finally``
+    blocks (the ``defer`` analog) run during the unwind; a body that
+    catches :class:`~repro.errors.GoPanic` and yields :class:`Recover`
+    stops the unwind and keeps running, as Go's deferred ``recover()``
+    does.
+    """
 
     __slots__ = ("message",)
 
     def __init__(self, message: str):
         self.message = message
+
+
+class Recover(Instruction):
+    """``recover()`` — consume the in-flight panic and stop unwinding.
+
+    Resolves to the panic message while the goroutine is panicking (and
+    clears the panicking state, so the panic is considered handled), or
+    ``None`` otherwise — mirroring Go, where ``recover`` returns ``nil``
+    unless called during a panic.  Bodies use it from an
+    ``except GoPanic`` (deferred-function analog) block::
+
+        try:
+            yield Send(ch, value)    # may panic: send on closed channel
+        except GoPanic:
+            reason = yield Recover()
+    """
+
+    __slots__ = ()
+
+
+class Defer(Instruction):
+    """Register ``fn`` (a plain, non-blocking callable) to run when the
+    goroutine terminates — normal exit, unrecovered panic, or program
+    crash — in LIFO order, like stacked ``defer`` statements.
+
+    Deferred callables do **not** run when GOLF forcibly reclaims a
+    deadlocked goroutine: the runtime guarantees deferred code of a
+    reclaimed goroutine never executes (paper §5.5).  Blocking deferred
+    work is instead expressed with ``try/finally`` around yields.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[], None]):
+        if not callable(fn):
+            raise TypeError(f"Defer needs a callable, got {fn!r}")
+        self.fn = fn

@@ -7,6 +7,14 @@ accounting — and returns human-readable violations.  The property-based
 suites call it after every random program, so any regression that bends
 an internal invariant surfaces immediately even when the program's
 visible behavior happens to stay correct.
+
+The chaos engine (:mod:`repro.chaos`) leans on this module as its main
+oracle: it calls ``check_invariants`` after every injected fault, so the
+checks here also cover the states only faults can produce — a reclaimed
+goroutine's sudog lingering in a channel or semaphore wait queue, a
+pooled descriptor still registered in the semaphore table, dead
+goroutines holding simulated stack bytes, and live-byte accounting after
+forced reclamation of a leaked subgraph.
 """
 
 from __future__ import annotations
@@ -52,11 +60,43 @@ def check_invariants(rt) -> List[str]:
                 problems.append(
                     f"detectably blocked goroutine {g.goid} has "
                     f"empty B(g)")
+            if g.is_blocked_detectably and g.wake_at is not None:
+                # B(g)-blocked waits have no deadline: a timer on a
+                # detectably blocked goroutine means a spurious wakeup
+                # could resume it past the detector's reasoning.
+                problems.append(
+                    f"detectably blocked goroutine {g.goid} has a "
+                    f"timer deadline ({g.wake_at})")
         elif g.status in (GStatus.RUNNABLE, GStatus.RUNNING):
             for sd in g.sudogs:
                 if sd.active:
                     problems.append(
                         f"runnable goroutine {g.goid} has an active sudog")
+
+    # -- dead goroutines (descriptor hygiene after reclaim/panic) -----------
+    for g in sched.allgs:
+        if g.status != GStatus.DEAD:
+            continue
+        if g.stack_bytes != 0:
+            problems.append(
+                f"dead goroutine {g.goid} retains {g.stack_bytes} "
+                f"stack bytes")
+        if g.defers:
+            problems.append(
+                f"dead goroutine {g.goid} retains {len(g.defers)} "
+                f"deferred callables")
+        if g.panicking is not None:
+            problems.append(
+                f"dead goroutine {g.goid} still flagged panicking")
+
+    # -- descriptor residency ------------------------------------------------
+    # Every descriptor the scheduler knows is a pinned heap allocation;
+    # losing one from the heap (while the scheduler still schedules it)
+    # means the accounting and the collector disagree about what exists.
+    for g in sched.allgs:
+        if not rt.heap.contains(g):
+            problems.append(
+                f"goroutine {g.goid} in allgs but not on the heap")
 
     # -- channel wait queues ---------------------------------------------------------
     terminal = (GStatus.DEAD,)
@@ -78,9 +118,12 @@ def check_invariants(rt) -> List[str]:
                         f"goroutine {g.goid}")
 
     # -- semaphore table ----------------------------------------------------------------
+    # PENDING_RECLAIM is legitimate here: a reported sem-blocked
+    # goroutine stays queued until the *next* cycle's reclaim purges it.
+    sem_ok = (GStatus.WAITING, GStatus.DEADLOCKED, GStatus.PENDING_RECLAIM)
     for key in sched.semtable.keys():
         for g in sched.semtable.waiters(key):
-            if g.status not in (GStatus.WAITING, GStatus.DEADLOCKED):
+            if g.status not in sem_ok:
                 problems.append(
                     f"semtable key 0x{key:x} holds goroutine {g.goid} "
                     f"in state {g.status}")

@@ -49,7 +49,7 @@ class HeapObject:
             (``HeapAlloc`` and friends in the paper's Table 2).
     """
 
-    __slots__ = ("addr", "size", "_mark_epoch", "_finalizer")
+    __slots__ = ("addr", "size", "_mark_epoch", "_finalizer", "_heap")
 
     #: Short human-readable tag used in reports and ``repr``.
     kind: str = "object"
@@ -64,6 +64,29 @@ class HeapObject:
         self.size: int = size
         self._mark_epoch: int = -1
         self._finalizer: Optional[Callable[["HeapObject"], None]] = None
+        #: Back-reference to the owning heap, set at allocation time, so
+        #: post-allocation growth flows into the memory accounting.
+        self._heap: Optional[Any] = None
+
+    def resize(self, new_size: int) -> None:
+        """Change the simulated size, keeping heap accounting consistent.
+
+        Growing a slice or inserting into a map changes how much memory
+        the object stands for; in Go those are allocation events (a new
+        backing array, new buckets).  Crediting the delta against the
+        owning heap's counters keeps ``HeapAlloc`` equal to the sum of
+        live object sizes — an invariant ``check_invariants`` enforces.
+        """
+        if new_size < 0:
+            raise ValueError("object size must be non-negative")
+        delta = new_size - self.size
+        self.size = new_size
+        heap = self._heap
+        if heap is not None and delta:
+            if delta > 0:
+                heap.total_alloc_bytes += delta
+            else:
+                heap.total_freed_bytes += -delta
 
     # -- reference graph -------------------------------------------------
 
@@ -154,7 +177,7 @@ class Slice(HeapObject):
 
     def append(self, value: Any) -> None:
         self.items.append(value)
-        self.size += WORD_SIZE
+        self.resize(self.size + WORD_SIZE)
 
     def __len__(self) -> int:
         return len(self.items)
@@ -232,12 +255,12 @@ class GoMap(HeapObject):
 
     def __setitem__(self, key: Any, value: Any) -> None:
         if key not in self.entries:
-            self.size += self.BYTES_PER_ENTRY
+            self.resize(self.size + self.BYTES_PER_ENTRY)
         self.entries[key] = value
 
     def __delitem__(self, key: Any) -> None:
         del self.entries[key]
-        self.size -= self.BYTES_PER_ENTRY
+        self.resize(self.size - self.BYTES_PER_ENTRY)
 
     def referents(self) -> Iterator[HeapObject]:
         for key, value in self.entries.items():

@@ -90,7 +90,7 @@ class Scheduler:
         self.allgs: List[Goroutine] = []
         self.gfree: List[Goroutine] = []
         self.runq: List[Goroutine] = []
-        self._timers: List[Tuple[int, int, Goroutine]] = []
+        self._timers: List[Tuple[int, int, int, Goroutine]] = []
         self._timer_seq = 0
         self._next_goid = 1
         self.main_g: Optional[Goroutine] = None
@@ -99,6 +99,10 @@ class Scheduler:
         self.instructions_executed = 0
         self.goroutines_spawned = 0
         self.goroutines_reused = 0
+        #: Goroutine-scoped panics that killed a single goroutine without
+        #: crashing the program (chaos injections, recovered-then-rethrown
+        #: faults): list of ``(goid, message)``.
+        self.goroutine_panics: List[Tuple[int, str]] = []
         #: Total processor-busy nanoseconds (mutator CPU time).
         self.cpu_busy_ns = 0
         #: Cond waiters that must reacquire their locker on wake.
@@ -119,6 +123,15 @@ class Scheduler:
         #: Optional select-case policy override (see repro.fuzz): called
         #: with the list of ready case indices, returns the chosen one.
         self.select_policy: Optional[Callable[[List[int]], int]] = None
+        #: Chaos fault hook (see repro.chaos): called at every yield
+        #: point — after an instruction's cost elapses, before its effect
+        #: applies — with ``(goroutine, instruction)``.  May perturb the
+        #: runtime (forced GC, clock jitter, panics into other
+        #: goroutines) and may return an exception to deliver to the
+        #: executing goroutine *instead of* running the instruction.
+        self.fault_hook: Optional[
+            Callable[[Goroutine, Instruction], Optional[BaseException]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Spawning
@@ -178,11 +191,17 @@ class Scheduler:
 
     def park_on_timer(self, g: Goroutine, wake_at: int,
                       reason: WaitReason = WaitReason.SLEEP) -> None:
-        """Park ``g`` until virtual time ``wake_at`` (non-detectable)."""
+        """Park ``g`` until virtual time ``wake_at`` (non-detectable).
+
+        The timer entry records the goid so a stale entry — left behind
+        when the sleeper is woken early (spurious wakeup, injected
+        panic) and its descriptor reused for a fresh goroutine — can
+        never fire a wakeup at the new occupant.
+        """
         self.park(g, reason, ())
         g.wake_at = wake_at
         self._timer_seq += 1
-        heapq.heappush(self._timers, (wake_at, self._timer_seq, g))
+        heapq.heappush(self._timers, (wake_at, self._timer_seq, g.goid, g))
 
     def wake(self, g: Goroutine, result: Any = None,
              exc: Optional[BaseException] = None) -> None:
@@ -253,7 +272,13 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def finish(self, g: Goroutine, value: Any = None) -> None:
-        """Regular goroutine exit; descriptor returns to the free pool."""
+        """Regular goroutine exit; descriptor returns to the free pool.
+
+        Runs the goroutine's ``Defer``-registered callables in LIFO
+        order first — they run on normal exit and on panic unwind alike,
+        but never on GOLF's forced reclaim (which bypasses this method).
+        """
+        self._run_defers(g)
         g.finished_value = value
         g.finish()
         self.gfree.append(g)
@@ -261,6 +286,18 @@ class Scheduler:
             self.tracer.emit("go-end", g.goid)
         if g is self.main_g:
             self._main_exited = True
+
+    def _run_defers(self, g: Goroutine) -> None:
+        defers, g.defers = g.defers, []
+        while defers:
+            fn = defers.pop()
+            try:
+                fn()
+            except Exception:
+                # A failing deferred callable must not corrupt scheduler
+                # state; Go would start a new panic here, which for the
+                # non-blocking Defer analog we simply swallow.
+                continue
 
     def reclaim_deadlocked(self, g: Goroutine) -> None:
         """GOLF forced shutdown of a deadlocked goroutine.
@@ -281,6 +318,55 @@ class Scheduler:
             self.tracer.emit("go-reclaim", g.goid)
 
     # ------------------------------------------------------------------
+    # Chaos fault delivery (see repro.chaos)
+    # ------------------------------------------------------------------
+
+    def deliver_panic(self, g: Goroutine, exc: BaseException) -> bool:
+        """Throw ``exc`` into ``g`` at its next scheduling point.
+
+        Safe against every state the runtime can be in: a *waiting*
+        victim is first purged from whatever wait queue holds it
+        (sudogs, semaphore table, cond relock map) so no dangling
+        back-pointer survives, then woken with the exception; a
+        *runnable* victim has the exception staged as its pending
+        delivery.  Running, dead, and reported-deadlocked goroutines are
+        refused (return False): a goroutine GOLF has proven permanently
+        blocked is frozen — faulting it would re-animate memory the
+        collector already reasoned about, so the runtime rejects the
+        attempt rather than violate soundness.
+        """
+        if g.is_system or g.reported:
+            return False
+        if g.status == GStatus.RUNNABLE:
+            g.pending_value = None
+            g.pending_exc = exc
+            return True
+        if g.status == GStatus.WAITING:
+            self.semtable.remove_goroutine(g)
+            self._relock.pop(g.goid, None)
+            self.wake(g, exc=exc)
+            return True
+        return False
+
+    def try_spurious_wakeup(self, g: Goroutine) -> bool:
+        """Attempt a spurious wakeup of a parked goroutine.
+
+        Only timer-parked goroutines (sleep / simulated IO) may legally
+        resume early — waking less is an observationally valid timing
+        perturbation.  For goroutines blocked at channel or ``sync``
+        operations the runtime *refuses* (returns False): resuming them
+        without their blocking condition would leave active sudogs or
+        semaphore-table entries behind a runnable goroutine, exactly the
+        corruption ``check_invariants`` exists to catch.
+        """
+        if g.status != GStatus.WAITING or g.is_system:
+            return False
+        if g.is_blocked_detectably or g.wake_at is None:
+            return False
+        self.wake(g, result=None)
+        return True
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -299,6 +385,24 @@ class Scheduler:
 
     def stack_inuse_bytes(self) -> int:
         return sum(g.stack_bytes for g in self.live_goroutines())
+
+    def inflight_heap_refs(self) -> List[HeapObject]:
+        """Heap objects referenced by instructions currently held by a
+        virtual processor.
+
+        An operand constructed inline at the yield site (``yield
+        Send(ch, Box(...))``) lives only in the instruction object while
+        the instruction's cost elapses — the generator frame has no
+        local for it.  In Go these values sit on the goroutine's stack;
+        here the scheduler must surface them as GC roots, or a
+        collection landing mid-instruction (pacer, or a chaos-injected
+        cycle) would sweep them.
+        """
+        refs: List[HeapObject] = []
+        for p in self.procs:
+            if p.instr is not None:
+                refs.extend(p.instr.heap_refs())
+        return refs
 
     @property
     def main_exited(self) -> bool:
@@ -366,23 +470,40 @@ class Scheduler:
                     len(waiting_user), dump=self._deadlock_dump(waiting_user))
             return RunStatus.IDLE
 
-    def _deadlock_dump(self, goroutines: List[Goroutine]) -> str:
-        """Per-goroutine dump attached to the fatal global-deadlock
-        error, like the stack listing Go prints after the fatal line."""
+    def goroutine_dump(self,
+                       goroutines: Optional[List[Goroutine]] = None) -> str:
+        """Per-goroutine stack/waitreason dump, like the listing Go
+        prints after a fatal error.  Used by the global-deadlock error
+        and by the runtime watchdog's stall reports."""
+        if goroutines is None:
+            goroutines = self.live_goroutines()
         lines = []
         for g in goroutines:
-            reason = g.wait_reason.value if g.wait_reason else "waiting"
-            lines.append(f"goroutine {g.goid} [{reason}]:")
+            if g.status == GStatus.WAITING and g.wait_reason is not None:
+                state = g.wait_reason.value
+            else:
+                state = g.status.value
+            lines.append(f"goroutine {g.goid} [{state}]:")
             for frame in g.stack_trace() or ["<no stack>"]:
                 lines.append(f"\t{frame}")
             lines.append(f"created by {g.go_site}")
         return "\n".join(lines)
 
+    def _deadlock_dump(self, goroutines: List[Goroutine]) -> str:
+        return self.goroutine_dump(goroutines)
+
     def _wake_due_timers(self) -> None:
         while self._timers and self._timers[0][0] <= self.clock.now:
-            _, _, g = heapq.heappop(self._timers)
-            # The goroutine may have been reclaimed or re-parked since.
-            if g.status == GStatus.WAITING and g.wake_at is not None:
+            _, _, goid, g = heapq.heappop(self._timers)
+            # The goroutine may have been reclaimed, re-parked, or its
+            # descriptor reused for a fresh goroutine since.  Only wake
+            # the same goroutine, and only if its current deadline has
+            # actually passed (an early-woken sleeper that re-parked
+            # leaves a stale entry whose deadline belongs to the past).
+            if (g.goid == goid
+                    and g.status == GStatus.WAITING
+                    and g.wake_at is not None
+                    and g.wake_at <= self.clock.now):
                 self.wake(g, result=None)
 
     def _dispatch_idle_procs(self) -> None:
@@ -403,14 +524,26 @@ class Scheduler:
         value, g.pending_value = g.pending_value, None
         try:
             if exc is not None:
+                if isinstance(exc, GoPanic):
+                    g.panicking = exc
                 instr = g.gen.throw(exc)
             else:
                 instr = g.gen.send(value)
         except StopIteration as stop:
+            # Reaching the end of the body counts as having handled any
+            # in-flight panic (a Python-level catch is a recover).
             self.finish(g, getattr(stop, "value", None))
             return
         except GoPanic as panic:
+            # The panic escaped the body: run defers and kill the
+            # goroutine.  Goroutine-scoped panics (chaos injections)
+            # stop there; ordinary panics crash the program, as in Go.
             self.finish(g)
+            if getattr(panic, "goroutine_scoped", False):
+                self.goroutine_panics.append((g.goid, panic.message))
+                if self.tracer is not None:
+                    self.tracer.emit("go-panic", g.goid, panic.message)
+                return
             self.crashed = (g, panic)
             return
         except Exception as err:  # user bug inside the body
@@ -440,10 +573,19 @@ class Scheduler:
 
     def _complete(self, p: _Proc) -> None:
         g, instr = p.g, p.instr
-        p.g = None
-        p.instr = None
         assert g is not None and instr is not None
         self.instructions_executed += 1
+        if self.fault_hook is not None:
+            # The proc still holds the instruction while the hook runs,
+            # so a fault-forced GC sees its operands as in-flight roots.
+            injected = self.fault_hook(g, instr)
+            if injected is not None:
+                p.g = None
+                p.instr = None
+                self.resume(g, exc=injected)
+                return
+        p.g = None
+        p.instr = None
         try:
             executor.execute(self, g, instr)
         except GoPanic as panic:

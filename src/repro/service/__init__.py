@@ -9,6 +9,10 @@
   with the three low-rate ``SendEmail`` leak sites of Listing 7.
 - :mod:`repro.service.longrun` — the Figure 1 setup: weeks of virtual
   uptime with weekday redeployments that mask the leak until weekends.
+- :mod:`repro.service.resilience` — the chaos-experiment variant of the
+  production service: context deadlines, retry with backoff + jitter,
+  and a circuit breaker around the downstream dependency, with GOLF
+  reclaiming the residual Listing-7 leaks resilience cannot see.
 """
 
 from repro.service.controlled import ControlledConfig, ControlledResult, run_controlled
@@ -18,8 +22,16 @@ from repro.service.production import (
     ProductionResult,
     run_production,
 )
+from repro.service.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilienceResult,
+    RetryPolicy,
+    run_resilient_production,
+)
 
 __all__ = [
+    "CircuitBreaker",
     "ControlledConfig",
     "ControlledResult",
     "run_controlled",
@@ -29,4 +41,8 @@ __all__ = [
     "LongRunConfig",
     "LongRunResult",
     "run_longrun",
+    "ResilienceConfig",
+    "ResilienceResult",
+    "RetryPolicy",
+    "run_resilient_production",
 ]

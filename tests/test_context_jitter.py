@@ -1,0 +1,145 @@
+"""``context.with_timeout`` under clock-jitter chaos (satellite check).
+
+Virtual-time jumps make deadlines fire "early" relative to instruction
+progress.  The contract: the deadline still fires exactly once, the
+context ends in ``DEADLINE_EXCEEDED``, workers watching ``ctx.done``
+unwind cleanly, and GOLF finds nothing to report — timeouts under
+jitter are not leaks, and jitter must not corrupt timer state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import FaultInjector, FaultPlan, get_scenario
+from repro.runtime.clock import MILLISECOND
+from repro.runtime.context import (
+    CANCELED,
+    DEADLINE_EXCEEDED,
+    with_cancel,
+    with_timeout,
+)
+from repro.runtime.instructions import (
+    Go,
+    MakeChan,
+    Recv,
+    RecvCase,
+    Select,
+    Send,
+    Sleep,
+)
+
+from tests.conftest import run_to_end
+
+
+def _timeout_program(observed, timeout_ns=50 * MILLISECOND, workers=3):
+    """Main for: N workers watch ctx.done; work never arrives, so every
+    worker must exit via the deadline."""
+
+    def main():
+        ctx, _cancel = yield from with_timeout(timeout_ns)
+        work_ch = yield MakeChan(0, label="work")
+        done_wg = yield MakeChan(workers, label="worker-exits")
+
+        def worker(idx):
+            which, _, _ = yield Select([RecvCase(work_ch),
+                                        RecvCase(ctx.done)])
+            observed.append((idx, "work" if which == 0 else "deadline"))
+            yield Send(done_wg, idx)
+
+        for i in range(workers):
+            yield Go(worker, i, name=f"ctx-worker-{i}")
+        for _ in range(workers):
+            yield Recv(done_wg)
+        observed.append(("ctx-err", ctx.err))
+
+    return main
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 99, 1234])
+def test_deadline_fires_under_clock_jitter(rt, seed):
+    plan = FaultPlan(seed, get_scenario("clock-jitter"))
+    injector = FaultInjector(rt, plan).install()
+    observed = []
+    status = run_to_end(rt, _timeout_program(observed))
+    assert status == "main-exited"
+    # Every worker exited via the deadline, and the context agrees.
+    exits = [how for (_, how) in observed[:-1]]
+    assert exits == ["deadline"] * 3
+    assert observed[-1] == ("ctx-err", DEADLINE_EXCEEDED)
+    # Jitter perturbed the run (unless the schedule ended too quickly)
+    # without breaking anything.
+    assert injector.violations == []
+    assert rt.check_invariants() == []
+    rt.gc_until_quiescent()
+    assert rt.reports.total() == 0  # timeouts are not leaks
+    rt.shutdown()
+
+
+def test_deadline_under_jitter_is_replayable(baseline_rt):
+    """Same seed, same program: identical fault trace and outcome."""
+    from repro import GolfConfig, Runtime
+
+    traces = []
+    for _ in range(2):
+        rt = Runtime(procs=2, seed=7, config=GolfConfig())
+        plan = FaultPlan(5, get_scenario("clock-jitter"))
+        FaultInjector(rt, plan).install()
+        observed = []
+        run_to_end(rt, _timeout_program(observed))
+        traces.append((plan.trace_dicts(), tuple(observed)))
+        rt.shutdown()
+    assert traces[0] == traces[1]
+
+
+def test_cancel_still_wins_race_under_jitter(rt):
+    """Explicit cancel before the (jittered) deadline: err is CANCELED
+    and the timer goroutine exits without reporting anything."""
+    plan = FaultPlan(3, get_scenario("clock-jitter"))
+    FaultInjector(rt, plan).install()
+    errs = []
+
+    def main():
+        ctx, cancel = yield from with_timeout(400 * MILLISECOND)
+
+        def watcher():
+            yield Recv(ctx.done)
+
+        yield Go(watcher, name="watcher")
+        yield Sleep(1 * MILLISECOND)
+        yield from cancel()
+        yield Sleep(2 * MILLISECOND)
+        errs.append(ctx.err)
+
+    status = run_to_end(rt, main, budget_ns=2_000 * MILLISECOND)
+    assert status == "main-exited"
+    assert errs == [CANCELED]
+    rt.gc_until_quiescent()
+    assert rt.reports.total() == 0
+    assert rt.check_invariants() == []
+    rt.shutdown()
+
+
+def test_nested_contexts_under_jitter(rt):
+    """A child with_timeout under a parent with_cancel, all under
+    jitter: the child deadline cancels only the child subtree."""
+    plan = FaultPlan(11, get_scenario("clock-jitter"))
+    FaultInjector(rt, plan).install()
+    errs = []
+
+    def main():
+        parent, _parent_cancel = yield from with_cancel()
+        child, _child_cancel = yield from with_timeout(
+            20 * MILLISECOND, parent=parent)
+        yield Recv(child.done)   # released by the child deadline
+        errs.append((child.err, parent.err))
+        yield from _parent_cancel()
+        errs.append(parent.err)
+
+    status = run_to_end(rt, main, budget_ns=2_000 * MILLISECOND)
+    assert status == "main-exited"
+    assert errs[0] == (DEADLINE_EXCEEDED, None)
+    assert errs[1] == CANCELED
+    rt.gc_until_quiescent()
+    assert rt.reports.total() == 0
+    rt.shutdown()

@@ -1,0 +1,320 @@
+"""Panic / Defer / Recover semantics, and the defer-vs-reclaim contract.
+
+Go's contract: a panic unwinds the goroutine running its deferred code;
+``recover`` inside a defer stops the unwind; an unrecovered panic is
+fatal to the program.  GOLF's contract (paper §5.5): a forcibly
+reclaimed goroutine's deferred code does **not** run — the goroutine was
+proven permanently blocked, so in the unmodified runtime its defers
+would never have executed either.  These tests pin both contracts and
+their interaction with scheduler state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GolfConfig, Runtime
+from repro.errors import GoPanic, InjectedPanic
+from repro.runtime.clock import MILLISECOND
+from repro.runtime.goroutine import GStatus
+from repro.runtime.instructions import (
+    Defer,
+    Go,
+    MakeChan,
+    Panic,
+    Recover,
+    Recv,
+    Send,
+    Sleep,
+    Work,
+)
+
+from tests.conftest import run_to_end
+
+
+SETTLE = 2 * MILLISECOND
+
+
+class TestPanicUnwind:
+    def test_unrecovered_panic_crashes_program(self, rt):
+        def main():
+            yield Panic("boom")
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="boom"):
+            rt.run()
+
+    def test_panic_runs_finally_blocks(self, rt):
+        ran = []
+
+        def main():
+            def child():
+                try:
+                    yield Panic("unwind me")
+                finally:
+                    ran.append("finally")
+
+            yield Go(child)
+            yield Sleep(SETTLE)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="unwind me"):
+            rt.run()
+        assert ran == ["finally"]
+
+    def test_finally_may_yield_during_unwind(self, rt):
+        """A finally that performs runtime operations completes them
+        before the panic resumes propagating (defers run fully)."""
+        observed = []
+
+        def main():
+            ch = yield MakeChan(1)
+
+            def child():
+                try:
+                    yield Panic("later")
+                finally:
+                    yield Send(ch, "cleaned-up")
+
+            yield Go(child)
+            value, _ = yield Recv(ch)
+            observed.append(value)
+            yield Sleep(SETTLE)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic, match="later"):
+            rt.run()
+        assert observed == ["cleaned-up"]
+
+    def test_recover_stops_unwinding(self, rt):
+        events = []
+
+        def main():
+            def child():
+                try:
+                    yield Panic("contained")
+                except GoPanic:
+                    msg = yield Recover()
+                    events.append(msg)
+                yield Work(1)
+                events.append("kept-going")
+
+            yield Go(child)
+            yield Sleep(SETTLE)
+
+        run_to_end(rt, main)
+        assert events == ["contained", "kept-going"]
+        assert rt.check_invariants() == []
+
+    def test_recover_without_panic_returns_none(self, rt):
+        seen = []
+
+        def main():
+            value = yield Recover()
+            seen.append(value)
+
+        run_to_end(rt, main)
+        assert seen == [None]
+
+    def test_python_level_catch_counts_as_recover(self, rt):
+        """Catching GoPanic and finishing normally must not crash the
+        program (the catch is the recover)."""
+        def main():
+            def child():
+                try:
+                    yield Panic("caught")
+                except GoPanic:
+                    return
+
+            yield Go(child)
+            yield Sleep(SETTLE)
+
+        status = run_to_end(rt, main)
+        assert status == "main-exited"
+
+
+class TestDeferInstruction:
+    def test_defers_run_lifo_on_normal_exit(self, rt):
+        order = []
+
+        def main():
+            yield Defer(lambda: order.append("first"))
+            yield Defer(lambda: order.append("second"))
+
+        run_to_end(rt, main)
+        assert order == ["second", "first"]
+
+    def test_defers_run_on_panic_unwind(self, rt):
+        order = []
+
+        def main():
+            def child():
+                yield Defer(lambda: order.append("deferred"))
+                yield Panic("die")
+
+            yield Go(child)
+            yield Sleep(SETTLE)
+
+        rt.spawn_main(main)
+        with pytest.raises(GoPanic):
+            rt.run()
+        assert order == ["deferred"]
+
+    def test_failing_defer_does_not_corrupt_scheduler(self, rt):
+        def main():
+            yield Defer(lambda: 1 / 0)
+            yield Defer(lambda: None)
+
+        status = run_to_end(rt, main)
+        assert status == "main-exited"
+        assert rt.check_invariants() == []
+
+    def test_defer_requires_callable(self):
+        with pytest.raises(TypeError):
+            Defer("not callable")
+
+
+class TestDeferReclaimContract:
+    """The asymmetry documented in repro.core.recovery: panicked
+    goroutines run deferred code, reclaimed goroutines do not."""
+
+    def test_reclaimed_goroutine_defers_do_not_run(self, rt):
+        ran = []
+
+        def main():
+            ch = yield MakeChan(0, label="leak")
+
+            def leaker():
+                yield Defer(lambda: ran.append("defer"))
+                try:
+                    yield Recv(ch)  # blocks forever
+                finally:
+                    ran.append("finally")
+                    yield Send(ch, "from beyond")  # must be discarded
+
+            yield Go(leaker, name="leaker")
+            yield Sleep(SETTLE)
+
+        run_to_end(rt, main)
+        rt.gc_until_quiescent()
+        assert rt.reports.total() == 1
+        assert rt.collector.stats.total_goroutines_reclaimed == 1
+        # During the simulated program's lifetime, nothing ran.
+        assert ran == []
+        rt.shutdown()
+        # Host teardown unwinds the suspended frame (a CPython
+        # necessity), so the finally executes Python-side — but its
+        # yielded Send was discarded, and the Defer callable is gone
+        # for good: reclaimed goroutines' defers never run.
+        assert "defer" not in ran
+        assert rt.check_invariants() == []
+
+    def test_panicked_goroutine_defers_do_run(self, rt):
+        """Contrast case: the same body shape dying by injected panic
+        runs both its Defer callables and its finally block."""
+        ran = []
+
+        def main():
+            ch = yield MakeChan(0, label="victim-chan")
+
+            def victim():
+                yield Defer(lambda: ran.append("defer"))
+                try:
+                    yield Recv(ch)
+                finally:
+                    ran.append("finally")
+
+            yield Go(victim, name="victim")
+            yield Sleep(SETTLE)
+
+        rt.spawn_main(main)
+        rt.run_for(1 * MILLISECOND)
+        victims = [g for g in rt.sched.allgs
+                   if g.name == "victim" and g.status == GStatus.WAITING]
+        assert victims, "victim should be blocked by now"
+        assert rt.sched.deliver_panic(
+            victims[0], InjectedPanic("chaos test"))
+        rt.run()
+        assert ran == ["finally", "defer"]
+        assert rt.sched.goroutine_panics == [
+            (victims[0].goid, "chaos test")]
+        assert rt.check_invariants() == []
+
+
+class TestGoroutineScopedPanic:
+    def test_injected_panic_kills_only_victim(self, rt):
+        def main():
+            ch = yield MakeChan(0)
+
+            def worker():
+                yield Recv(ch)
+
+            yield Go(worker, name="worker")
+            yield Sleep(SETTLE)
+            yield Send(ch, "still works")
+
+        rt.spawn_main(main)
+        rt.run_for(1 * MILLISECOND)
+        # Panic a *different*, freshly spawned blocked goroutine.
+        def second():
+            ch2 = yield MakeChan(0)
+            yield Recv(ch2)
+
+        g = rt.sched.spawn(second, name="second", go_site="<test>")
+        rt.run_for(1 * MILLISECOND)
+        assert g.status == GStatus.WAITING
+        assert rt.sched.deliver_panic(g, InjectedPanic("die quietly"))
+        status = rt.run()
+        # Main completed its handshake with worker despite the panic.
+        assert status == "main-exited"
+        assert (g.goid, "die quietly") in rt.sched.goroutine_panics
+
+    def test_deliver_panic_refuses_reported_goroutines(self, rt):
+        def main():
+            ch = yield MakeChan(0, label="leak")
+
+            def leaker():
+                yield Recv(ch)
+
+            yield Go(leaker, name="leaker")
+            yield Sleep(SETTLE)
+
+        run_to_end(rt, main)
+        rt.gc()  # report the leaker (PENDING_RECLAIM)
+        reported = [g for g in rt.sched.allgs if g.reported]
+        assert reported
+        assert not rt.sched.deliver_panic(
+            reported[0], InjectedPanic("must be refused"))
+        # The refusal must leave the two-cycle protocol intact.
+        rt.gc()
+        assert rt.collector.stats.total_goroutines_reclaimed == 1
+        rt.shutdown()
+
+    def test_deliver_panic_purges_sema_state(self, rt):
+        """Panicking a goroutine blocked in the semaphore table must not
+        leave a dangling semtable entry (the chaos invariant)."""
+        def main():
+            mu = yield from _locked_mutex()
+
+            def contender():
+                from repro.runtime.instructions import Lock
+                yield Lock(mu)
+
+            yield Go(contender, name="contender")
+            yield Sleep(SETTLE)
+
+        def _locked_mutex():
+            from repro.runtime.instructions import Lock, NewMutex
+            mu = yield NewMutex()
+            yield Lock(mu)
+            return mu
+
+        rt.spawn_main(main)
+        rt.run_for(1 * MILLISECOND)
+        blocked = [g for g in rt.sched.allgs
+                   if g.name == "contender"
+                   and g.status == GStatus.WAITING]
+        assert blocked
+        assert rt.sched.deliver_panic(blocked[0], InjectedPanic("zap"))
+        rt.run()
+        assert rt.check_invariants() == []

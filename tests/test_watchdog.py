@@ -1,0 +1,125 @@
+"""The runtime watchdog: global-stall detection with goroutine dumps.
+
+A stall is the wedge Go's runtime cannot diagnose: every user goroutine
+is detectably blocked while system timers keep the process formally
+alive.  The watchdog must catch that picture, report it exactly once
+with a dump, stay quiet while anyone can still make progress, and defer
+to GOLF for goroutines the detector already diagnosed.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.clock import MILLISECOND, SECOND
+from repro.runtime.instructions import Go, MakeChan, Recv, Sleep, Work
+from repro.runtime.watchdog import Watchdog
+
+
+def _wedge(rt):
+    """Drive a three-goroutine channel wedge: two cross-blocked workers
+    plus main itself blocked on a channel nobody sends to."""
+
+    def main():
+        ch1 = yield MakeChan(0, label="wedge-1")
+        ch2 = yield MakeChan(0, label="wedge-2")
+        ch3 = yield MakeChan(0, label="wedge-3")
+
+        def worker_a():
+            yield Recv(ch1)
+
+        def worker_b():
+            yield Recv(ch2)
+
+        yield Go(worker_a, name="worker-a")
+        yield Go(worker_b, name="worker-b")
+        yield Recv(ch3)
+
+    rt.spawn_main(main)
+
+
+class TestStallDetection:
+    def test_wedge_is_detected_with_dump(self, rt):
+        wd = Watchdog(rt)
+        wd.install(interval_ns=5 * MILLISECOND)
+        _wedge(rt)
+        rt.run(until_ns=100 * MILLISECOND)
+        assert wd.stalls, "watchdog missed a full wedge"
+        report = wd.stalls[0]
+        assert len(report.goids) == 3  # both workers and main
+        assert "worker_a" in report.dump
+        assert "worker_b" in report.dump
+        assert "chan receive" in report.dump
+
+    def test_stall_reported_once(self, rt):
+        wd = Watchdog(rt)
+        wd.install(interval_ns=5 * MILLISECOND)
+        _wedge(rt)
+        rt.run(until_ns=200 * MILLISECOND)
+        # Dozens of polls saw the same wedge; one report.
+        assert len(wd.stalls) == 1
+
+    def test_no_stall_while_making_progress(self, rt):
+        wd = Watchdog(rt)
+        wd.install(interval_ns=5 * MILLISECOND)
+
+        def main():
+            def ticker():
+                for _ in range(30):
+                    yield Sleep(3 * MILLISECOND)
+                    yield Work(10)
+
+            yield Go(ticker, name="ticker")
+            yield Sleep(95 * MILLISECOND)
+
+        rt.spawn_main(main)
+        rt.run(until_ns=200 * MILLISECOND)
+        assert wd.stalls == []
+
+    def test_host_side_polling(self, rt):
+        """poll() between run_for slices works without install()."""
+        wd = Watchdog(rt)
+        # A far-future system timer keeps the process formally alive so
+        # the wedge stalls instead of tripping the global-deadlock fatal.
+        rt.enable_periodic_gc(10 * SECOND)
+        _wedge(rt)
+        rt.run_for(5 * MILLISECOND)
+        assert wd.poll() is None      # first sighting arms, not reports
+        rt.run_for(5 * MILLISECOND)
+        report = wd.poll()            # unchanged picture: stall
+        assert report is not None
+        assert report.time_ns == rt.clock.now
+        assert wd.poll() is None      # deduped
+
+    def test_golf_reported_goroutines_are_excluded(self, rt):
+        """Once GOLF diagnoses the wedged goroutines, the watchdog must
+        not keep calling them a stall — they are reported leaks now."""
+        wd = Watchdog(rt)
+        rt.enable_periodic_gc(10 * SECOND)
+        _wedge(rt)
+        rt.run_for(5 * MILLISECOND)
+        wd.poll()
+        rt.gc()  # all three goroutines reported -> PENDING_RECLAIM
+        assert wd.poll() is None
+        rt.gc_until_quiescent()
+        assert wd.poll() is None
+        assert wd.stalls == []
+        rt.shutdown()
+
+    def test_partial_block_is_not_a_stall(self, rt):
+        """One runnable straggler vetoes the stall verdict."""
+        wd = Watchdog(rt)
+
+        def main():
+            ch = yield MakeChan(0, label="half-wedge")
+
+            def blocked():
+                yield Recv(ch)
+
+            yield Go(blocked, name="blocked")
+            for _ in range(50):
+                yield Sleep(2 * MILLISECOND)
+
+        rt.spawn_main(main)
+        for _ in range(6):
+            rt.run_for(4 * MILLISECOND)
+            assert wd.poll() is None
+        assert wd.stalls == []
