@@ -75,7 +75,12 @@ class FaultInjector:
         dispatch = self._DISPATCH[kind]
         result = dispatch(self, g, instr)
         if self.plan.trace and self.plan.trace[-1].outcome == "injected":
-            self._check_after_fault(self.plan.trace[-1])
+            record = self.plan.trace[-1]
+            telemetry = self.rt.sched.telemetry
+            if telemetry is not None:
+                telemetry.on_fault_injected(
+                    record.kind, record.target_goid, record.detail)
+            self._check_after_fault(record)
         return result
 
     def _check_after_fault(self, record) -> None:

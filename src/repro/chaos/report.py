@@ -112,12 +112,17 @@ def run_chaos_schedule(
     procs: int = 2,
     config: Optional[GolfConfig] = None,
     keep_trace: bool = True,
+    telemetry=None,
 ) -> ScheduleResult:
     """Run one benchmark under one seeded fault plan and judge it.
 
     The schedule reuses the microbenchmark template (settle + forced GC
     tail) via the harness's ``rt_hook``, then drives extra cycles to
     quiescence and applies the oracle described in the module docstring.
+
+    A :class:`~repro.telemetry.TelemetryHub` passed as ``telemetry``
+    observes the schedule's runtime: injected faults, GC cycles, leak
+    reports (fingerprinted for cross-campaign dedup), and incidents.
     """
     spec = get_scenario(scenario)
     result = ScheduleResult(bench.name, procs, seed, scenario)
@@ -125,6 +130,8 @@ def run_chaos_schedule(
     captured: List = []
 
     def hook(rt) -> None:
+        if telemetry is not None:
+            telemetry.attach(rt)
         captured.append(FaultInjector(rt, plan).install())
 
     bench_result = run_microbenchmark(
@@ -267,6 +274,8 @@ def run_chaos_campaign(
     config: Optional[GolfConfig] = None,
     corpus: Optional[List[Microbenchmark]] = None,
     keep_traces: bool = False,
+    telemetry=None,
+    run_id: Optional[str] = None,
 ) -> ChaosReport:
     """Sweep ``seeds`` fault schedules across the microbenchmark corpus.
 
@@ -274,12 +283,22 @@ def run_chaos_campaign(
     ``base_seed + i``, so a campaign of at least ``len(corpus)``
     schedules covers every benchmark and every campaign is reproducible
     from ``(seeds, scenario, base_seed, procs)``.
+
+    With a ``telemetry`` hub, the whole campaign is fingerprinted under
+    one run id (default derived from the campaign parameters): repeating
+    an identical campaign aggregates onto the same fingerprint records
+    instead of re-reporting every leak.
     """
     corpus = corpus if corpus is not None else all_benchmarks()
     report = ChaosReport(scenario, procs, base_seed)
+    if telemetry is not None:
+        telemetry.fingerprints.begin_run(
+            run_id
+            or f"chaos-{scenario}-p{procs}-b{base_seed}-n{seeds}-"
+               f"{telemetry.fingerprints.runs_started + 1}")
     for i in range(seeds):
         bench = corpus[i % len(corpus)]
         report.schedules.append(run_chaos_schedule(
             bench, seed=base_seed + i, scenario=scenario, procs=procs,
-            config=config, keep_trace=keep_traces))
+            config=config, keep_trace=keep_traces, telemetry=telemetry))
     return report

@@ -105,12 +105,15 @@ def _cmd_chaos(args) -> str:
         raise SystemExit("chaos: --seeds must be at least 1 "
                          "(an empty campaign would be vacuously clean)")
 
+    from repro.telemetry import get_default_hub
+
     report = run_chaos_campaign(
         seeds=args.seeds,
         scenario=args.scenario,
         base_seed=args.base_seed,
         procs=args.procs,
         keep_traces=args.traces,
+        telemetry=get_default_hub(),
     )
     artifact_dir = args.json_dir
     os.makedirs(artifact_dir, exist_ok=True)
@@ -124,6 +127,25 @@ def _cmd_chaos(args) -> str:
         # A dirty campaign is a soundness bug; make the process say so.
         raise SystemExit(text + "\nchaos campaign FAILED")
     return text
+
+
+def _cmd_obs(args) -> str:
+    from repro.telemetry import (
+        DEBUG,
+        TelemetryHub,
+        run_observed_benchmark,
+        write_artifacts,
+    )
+
+    hub = TelemetryHub(min_severity=DEBUG)
+    result = run_observed_benchmark(
+        args.benchmark, procs=args.procs, seed=args.seed, hub=hub,
+        fingerprint_db=args.fingerprint_db)
+    out_dir = args.out_dir or args.out or "benchmarks/out"
+    slug = args.benchmark.replace("/", "-")
+    result.artifact_paths = write_artifacts(
+        hub, out_dir, f"obs-{slug}-p{args.procs}-s{args.seed}")
+    return result.format()
 
 
 def _cmd_ablations(args) -> str:
@@ -147,6 +169,7 @@ _COMMANDS: Dict[str, Callable] = {
     "ablations": _cmd_ablations,
     "tester": _cmd_tester,
     "chaos": _cmd_chaos,
+    "obs": _cmd_obs,
 }
 
 
@@ -157,45 +180,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--out", default=None,
                         help="directory to archive artifacts into")
+    # Telemetry plumbing shared by every subcommand: any experiment can
+    # run observed (metrics + flight recorder on every runtime it
+    # builds) and drop uniform artifacts under --out-dir.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--metrics", action="store_true",
+                        help="collect telemetry (INFO-level recorder) and "
+                             "write .prom/JSON artifacts")
+    common.add_argument("--trace", action="store_true",
+                        help="like --metrics but with DEBUG-level "
+                             "flight-recorder events (park/wake)")
+    common.add_argument("--out-dir", default=None,
+                        help="directory for telemetry artifacts "
+                             "(default benchmarks/out)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("table1", help="microbenchmark detection rates")
+    def add(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    p = add("table1", help="microbenchmark detection rates")
     p.add_argument("--runs", type=int, default=30)
 
-    p = sub.add_parser("table2", help="controlled service metrics")
+    p = add("table2", help="controlled service metrics")
     p.add_argument("--duration", type=int, default=15,
                    help="virtual seconds of load per cell")
 
-    p = sub.add_parser("table3", help="production overhead")
+    p = add("table3", help="production overhead")
     p.add_argument("--hours", type=float, default=2.0)
 
-    p = sub.add_parser("figure1", help="blocked goroutines over time")
+    p = add("figure1", help="blocked goroutines over time")
     p.add_argument("--days", type=int, default=21)
 
-    p = sub.add_parser("figure3", help="GOLF/goleak ratio curve")
+    p = add("figure3", help="GOLF/goleak ratio curve")
     p.add_argument("--packages", type=int, default=300)
 
-    p = sub.add_parser("figure4", help="marking-phase slowdown")
+    p = add("figure4", help="marking-phase slowdown")
     p.add_argument("--repeats", type=int, default=5)
 
-    p = sub.add_parser("rq1b", help="test-suite totals vs goleak")
+    p = add("rq1b", help="test-suite totals vs goleak")
     p.add_argument("--packages", type=int, default=300)
 
-    p = sub.add_parser("rq1c", help="24h real-service deployment")
+    p = add("rq1c", help="24h real-service deployment")
     p.add_argument("--hours", type=float, default=4.0)
 
-    sub.add_parser("ablations", help="design-choice ablations")
+    add("ablations", help="design-choice ablations")
 
-    p = sub.add_parser(
-        "tester", help="the artifact-appendix testing harness")
+    p = add("tester", help="the artifact-appendix testing harness")
     p.add_argument("--match", default="", help="benchmark name regex")
     p.add_argument("--repeats", type=int, default=10)
     p.add_argument("--perf", action="store_true",
                    help="also emit the results-perf.csv comparison")
 
-    p = sub.add_parser(
-        "chaos", help="seeded fault-injection campaign (soundness "
-                      "under chaos); exits non-zero on any violation")
+    p = add("chaos", help="seeded fault-injection campaign (soundness "
+                          "under chaos); exits non-zero on any violation")
     p.add_argument("--seeds", type=int, default=50,
                    help="number of seeded fault schedules to run")
     p.add_argument("--scenario", default="mixed",
@@ -207,7 +244,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-dir", default="benchmarks/out",
                    help="directory for the campaign JSON artifact")
 
-    p = sub.add_parser("all", help="regenerate everything")
+    p = add("obs", help="run one benchmark fully observed and report "
+                        "(metrics, flight recorder, profiles, "
+                        "fingerprints)")
+    p.add_argument("--benchmark", default="cgo/sendmail",
+                   help="microbenchmark name (see repro.microbench)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--fingerprint-db", default=None,
+                   help="persistent fingerprint store for cross-run "
+                        "leak dedup")
+
+    p = add("all", help="regenerate everything")
     p.add_argument("--runs", type=int, default=30)
     p.add_argument("--duration", type=int, default=15)
     p.add_argument("--hours", type=float, default=2.0)
@@ -228,20 +276,47 @@ def _archive(out_dir: Optional[str], name: str, text: str) -> None:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    hub = None
+    if getattr(args, "metrics", False) or getattr(args, "trace", False):
+        from repro.telemetry import (
+            DEBUG,
+            INFO,
+            TelemetryHub,
+            set_default_hub,
+        )
+
+        hub = TelemetryHub(
+            min_severity=DEBUG if getattr(args, "trace", False) else INFO)
+        # Every runtime any experiment builds from here on reports into
+        # this hub (Runtime.__init__ auto-attaches the default hub).
+        set_default_hub(hub)
     if args.command == "all":
-        # tester and chaos have their own flags and fail semantics; they
-        # run as explicit subcommands only.
-        commands = [c for c in _COMMANDS if c not in ("tester", "chaos")]
+        # tester, chaos, and obs have their own flags and fail
+        # semantics; they run as explicit subcommands only.
+        commands = [c for c in _COMMANDS
+                    if c not in ("tester", "chaos", "obs")]
     else:
         commands = [args.command]
-    for name in commands:
-        started = time.time()
-        text = _COMMANDS[name](args)
-        elapsed = time.time() - started
-        print(f"===== {name} ({elapsed:.1f}s) =====")
-        print(text)
-        print()
-        _archive(args.out, name, text)
+    try:
+        for name in commands:
+            started = time.time()
+            text = _COMMANDS[name](args)
+            elapsed = time.time() - started
+            print(f"===== {name} ({elapsed:.1f}s) =====")
+            print(text)
+            print()
+            _archive(args.out, name, text)
+    finally:
+        if hub is not None:
+            from repro.telemetry import set_default_hub, write_artifacts
+
+            set_default_hub(None)
+            out_dir = (getattr(args, "out_dir", None) or args.out
+                       or "benchmarks/out")
+            paths = write_artifacts(hub, out_dir,
+                                    f"{args.command}-telemetry")
+            for kind in sorted(paths):
+                print(f"telemetry {kind}: {paths[kind]}")
     return 0
 
 

@@ -58,7 +58,8 @@ from repro.gc.heap import Heap
 from repro.runtime.goroutine import Goroutine
 
 
-def scan_and_mark_subgraph(heap: Heap, g: Goroutine) -> Tuple[bool, int]:
+def scan_and_mark_subgraph(heap: Heap,
+                           g: Goroutine) -> Tuple[bool, int, int]:
     """Mark everything reachable from a deadlocked goroutine, checking
     for finalizers on objects not already marked live.
 
@@ -67,12 +68,17 @@ def scan_and_mark_subgraph(heap: Heap, g: Goroutine) -> Tuple[bool, int]:
     scan only inspects (and marks) the part of the subgraph that is
     exclusively reachable through deadlocked goroutines.
 
-    Returns ``(found_finalizer, mark_work_units)``.
+    Returns ``(found_finalizer, mark_work_units, exclusive_bytes)`` —
+    the last being the bytes newly marked here, i.e. memory kept alive
+    *only* by deadlocked goroutines (the liveness precision gap the
+    telemetry surfaces as ``repro_gc_reachable_dead_bytes``).
     """
     found = False
     work = 0
+    exclusive_bytes = 0
     gray: deque = deque()
     if heap.mark(g):
+        exclusive_bytes += g.size
         gray.append(g)
     while gray:
         obj = gray.popleft()
@@ -84,7 +90,8 @@ def scan_and_mark_subgraph(heap: Heap, g: Goroutine) -> Tuple[bool, int]:
                 continue
             if heap.mark(ref):
                 work += ref.scan_work
+                exclusive_bytes += ref.size
                 if ref.finalizer is not None:
                     found = True
                 gray.append(ref)
-    return found, work
+    return found, work, exclusive_bytes

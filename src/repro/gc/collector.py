@@ -97,7 +97,11 @@ class Collector:
 
         # Second half of the two-cycle recovery protocol: shut down the
         # goroutines reported (and finalizer-cleared) last detection.
+        telemetry = self.sched.telemetry
         for g in self._pending_reclaim:
+            if telemetry is not None:
+                # Before reclaim: the goroutine still carries its sites.
+                telemetry.on_reclaim(g)
             self.sched.reclaim_deadlocked(g)
             cs.goroutines_reclaimed += 1
         self._pending_reclaim = []
@@ -148,6 +152,8 @@ class Collector:
                 f"#{cs.cycle} {cs.mode} iters={cs.mark_iterations} "
                 f"work={cs.mark_work_units} swept={cs.swept_bytes}B "
                 f"deadlocks={cs.deadlocks_detected}")
+        if self.sched.telemetry is not None:
+            self.sched.telemetry.on_gc_cycle(cs, self.sched, self.heap)
         return cs
 
     def _baseline_cycle(self, cs: CycleStats) -> None:
@@ -193,15 +199,19 @@ class Collector:
             # Schedule the goroutine's memory for marking this cycle and
             # probe the exclusively reachable subgraph for finalizers.
             g.masked = False
-            has_finalizer, extra_work = recovery.scan_and_mark_subgraph(
-                self.heap, g
+            has_finalizer, extra_work, exclusive_bytes = (
+                recovery.scan_and_mark_subgraph(self.heap, g)
             )
             cs.mark_work_units += extra_work
-            if has_finalizer or not self.config.reclaim:
+            cs.reachable_dead_bytes += exclusive_bytes
+            kept = has_finalizer or not self.config.reclaim
+            if kept:
                 g.status = GStatus.DEADLOCKED
                 if has_finalizer:
                     cs.deadlocks_kept_for_finalizers += 1
             else:
                 g.status = GStatus.PENDING_RECLAIM
                 self._pending_reclaim.append(g)
+            if self.sched.telemetry is not None:
+                self.sched.telemetry.on_leak_report(report, kept=kept)
         masking.unmask_all(self.sched.allgs)

@@ -22,7 +22,7 @@ class CycleStats:
         "liveness_checks", "pause_ns",
         "swept_objects", "swept_bytes", "finalizers_queued",
         "deadlocks_detected", "deadlocks_kept_for_finalizers",
-        "goroutines_reclaimed",
+        "goroutines_reclaimed", "reachable_dead_bytes",
     )
 
     def __init__(self, cycle: int, reason: str, mode: str,
@@ -46,6 +46,9 @@ class CycleStats:
         self.deadlocks_detected = 0
         self.deadlocks_kept_for_finalizers = 0
         self.goroutines_reclaimed = 0
+        # Bytes kept reachable only through deadlocked goroutines — the
+        # liveness precision gap the GOLF detector closes over time.
+        self.reachable_dead_bytes = 0
 
     def __repr__(self) -> str:
         return (

@@ -64,6 +64,13 @@ class Runtime:
         self.reports = ReportLog()
         self.collector = Collector(self.heap, self.sched, self.clock,
                                    self.config, self.reports)
+        # A process-wide default hub (CLI --metrics plumbing) observes
+        # every runtime built while it is installed.
+        from repro.telemetry.hub import get_default_hub
+
+        default_hub = get_default_hub()
+        if default_hub is not None:
+            default_hub.attach(self)
 
     # -- program setup ------------------------------------------------------
 
@@ -212,6 +219,23 @@ class Runtime:
     @property
     def tracer(self):
         return self.sched.tracer
+
+    def enable_telemetry(self, hub=None):
+        """Attach a telemetry hub (see :mod:`repro.telemetry`); returns it.
+
+        With no argument a fresh :class:`TelemetryHub` is created.  The
+        hub's metrics, flight recorder, profiles, and leak fingerprints
+        all observe this runtime from here on.
+        """
+        from repro.telemetry.hub import TelemetryHub
+
+        if hub is None:
+            hub = TelemetryHub()
+        return hub.attach(self)
+
+    @property
+    def telemetry(self):
+        return self.sched.telemetry
 
     # -- introspection ---------------------------------------------------------
 

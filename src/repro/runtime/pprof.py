@@ -7,10 +7,12 @@ rendering mimics ``/debug/pprof/goroutine?debug=1``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
-from repro.runtime.api import Runtime
 from repro.runtime.goroutine import Goroutine, GStatus
+
+if TYPE_CHECKING:  # avoid a module cycle via repro.runtime.api
+    from repro.runtime.api import Runtime
 
 
 class ProfileRecord:

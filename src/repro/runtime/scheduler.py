@@ -120,6 +120,10 @@ class Scheduler:
         self.mask_key: Callable[[int], int] = lambda addr: addr
         #: Optional event tracer (see repro.runtime.tracing).
         self.tracer = None
+        #: Optional telemetry hub (see repro.telemetry).  Every
+        #: instrumentation site guards on ``is not None`` so the
+        #: disabled path costs one attribute check.
+        self.telemetry = None
         #: Optional select-case policy override (see repro.fuzz): called
         #: with the list of ready case indices, returns the chosen one.
         self.select_policy: Optional[Callable[[List[int]], int]] = None
@@ -172,6 +176,8 @@ class Scheduler:
         if self.tracer is not None:
             self.tracer.emit("go-create", g.goid,
                              f"{g.name} at {go_site}")
+        if self.telemetry is not None:
+            self.telemetry.on_spawn(g)
         return g
 
     # ------------------------------------------------------------------
@@ -188,6 +194,8 @@ class Scheduler:
         g.blocking_sema = blocking_sema
         if self.tracer is not None:
             self.tracer.emit("go-park", g.goid, reason.value)
+        if self.telemetry is not None:
+            self.telemetry.on_park(g, reason)
 
     def park_on_timer(self, g: Goroutine, wake_at: int,
                       reason: WaitReason = WaitReason.SLEEP) -> None:
@@ -226,6 +234,8 @@ class Scheduler:
         self.runq.append(g)
         if self.tracer is not None:
             self.tracer.emit("go-wake", g.goid)
+        if self.telemetry is not None:
+            self.telemetry.on_wake(g)
 
     def apply_wakeups(self, wakeups: List[Wakeup]) -> None:
         """Resume the goroutines behind channel wakeup records.
@@ -284,6 +294,8 @@ class Scheduler:
         self.gfree.append(g)
         if self.tracer is not None:
             self.tracer.emit("go-end", g.goid)
+        if self.telemetry is not None:
+            self.telemetry.on_finish(g)
         if g is self.main_g:
             self._main_exited = True
 
@@ -519,6 +531,8 @@ class Scheduler:
                 self._start_instruction(p, g)
 
     def _start_instruction(self, p: _Proc, g: Goroutine) -> None:
+        if self.telemetry is not None:
+            self.telemetry.on_context_switch(len(self.runq))
         g.status = GStatus.RUNNING
         exc, g.pending_exc = g.pending_exc, None
         value, g.pending_value = g.pending_value, None
@@ -543,12 +557,18 @@ class Scheduler:
                 self.goroutine_panics.append((g.goid, panic.message))
                 if self.tracer is not None:
                     self.tracer.emit("go-panic", g.goid, panic.message)
+                if self.telemetry is not None:
+                    self.telemetry.on_goroutine_panic(g.goid, panic.message)
                 return
             self.crashed = (g, panic)
+            if self.telemetry is not None:
+                self.telemetry.on_crash(g.goid, panic.message)
             return
         except Exception as err:  # user bug inside the body
             self.finish(g)
             self.crashed = (g, err)
+            if self.telemetry is not None:
+                self.telemetry.on_crash(g.goid, str(err))
             return
         if not isinstance(instr, Instruction):
             err2 = InvalidInstruction(
@@ -556,6 +576,8 @@ class Scheduler:
             )
             self.finish(g)
             self.crashed = (g, err2)
+            if self.telemetry is not None:
+                self.telemetry.on_crash(g.goid, str(err2))
             return
         p.g = g
         p.instr = instr

@@ -5,6 +5,12 @@ collector emit structured events — goroutine lifecycle transitions, GC
 cycle summaries, deadlock reports — timestamped on the virtual clock.
 Useful for debugging programs and for the tests that assert scheduler
 behavior without poking at internals.
+
+The backing store is a bounded drop-oldest ring buffer (shared with the
+flight recorder in :mod:`repro.telemetry.recorder`): a long-running
+service keeps the *recent* history instead of freezing the trace at the
+moment the old append-only list filled up.  ``dropped`` counts evicted
+events.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.runtime.clock import Clock
+from repro.telemetry.recorder import RingBuffer
 
 #: Event kinds.
 GO_CREATE = "go-create"
@@ -44,32 +51,38 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects :class:`TraceEvent` records, bounded to ``capacity``."""
+    """Collects :class:`TraceEvent` records in a drop-oldest ring of
+    ``capacity`` events."""
 
     def __init__(self, clock: Clock, capacity: int = 100_000):
         self.clock = clock
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
-        self.dropped = 0
+        self._ring = RingBuffer(capacity)
 
     def emit(self, kind: str, goid: int = 0, detail: str = "") -> None:
-        if len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
-        self.events.append(TraceEvent(self.clock.now, kind, goid, detail))
+        self._ring.append(TraceEvent(self.clock.now, kind, goid, detail))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Buffered events, oldest first."""
+        return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        return self._ring.dropped
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
+        return [e for e in self._ring if e.kind == kind]
 
     def for_goroutine(self, goid: int) -> List[TraceEvent]:
-        return [e for e in self.events if e.goid == goid]
+        return [e for e in self._ring if e.goid == goid]
 
     def format(self, limit: Optional[int] = None) -> str:
-        events = self.events if limit is None else self.events[-limit:]
+        events = list(self._ring) if limit is None else self._ring.last(limit)
         lines = [event.format() for event in events]
         if self.dropped:
             lines.append(f"... {self.dropped} events dropped (capacity)")
         return "\n".join(lines)
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._ring)

@@ -114,11 +114,15 @@ class ControlledResult:
 
 
 def run_controlled(config: Optional[ControlledConfig] = None,
-                   golf: bool = True) -> ControlledResult:
+                   golf: bool = True,
+                   telemetry=None) -> ControlledResult:
     """Run the controlled client/server workload once."""
     config = config or ControlledConfig()
     gc_config = GolfConfig() if golf else GolfConfig.baseline()
     rt = Runtime(procs=config.procs, seed=config.seed, config=gc_config)
+    if telemetry is not None:
+        telemetry.attach(rt)
+    svc = telemetry.service("controlled") if telemetry is not None else None
     rt.enable_periodic_gc(config.periodic_gc_ms * MILLISECOND)
 
     host_rng = random.Random(config.seed ^ 0xC11E27)
@@ -186,6 +190,8 @@ def run_controlled(config: Optional[ControlledConfig] = None,
             if t0 >= warmup_end:
                 latencies.append(t1 - t0)
                 state["completed"] += 1
+                if svc is not None:
+                    svc.observe_request(t1 - t0)
 
     def main():
         yield Go(server, name="rpc-server")

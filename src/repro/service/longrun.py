@@ -85,12 +85,17 @@ class LongRunResult:
 
 
 def run_longrun(config: Optional[LongRunConfig] = None,
-                golf: bool = False) -> LongRunResult:
+                golf: bool = False,
+                telemetry=None) -> LongRunResult:
     """Simulate ``config.days`` of service uptime with redeploys.
 
     ``golf=False`` reproduces Figure 1 (the motivation: an unmodified
     runtime accumulating leaked goroutines); ``golf=True`` shows the same
     service with GOLF reclaiming them.
+
+    A telemetry hub passed here is re-attached to every deployment's
+    fresh runtime, so its metrics aggregate across redeploys — the
+    fleet-level view a real scrape of the service would produce.
     """
     config = config or LongRunConfig()
     result = LongRunResult()
@@ -105,6 +110,8 @@ def run_longrun(config: Optional[LongRunConfig] = None,
         fresh = Runtime(procs=config.procs,
                         seed=config.seed + deploy_seq,
                         config=gc_config)
+        if telemetry is not None:
+            telemetry.attach(fresh)
         fresh.enable_periodic_gc(config.periodic_gc_min * MINUTE)
 
         def handler(leaky: bool):

@@ -108,11 +108,20 @@ ENDPOINTS = ("send_email", "notify_partner", "audit_event")
 
 
 def run_production(config: Optional[ProductionConfig] = None,
-                   golf: bool = True) -> ProductionResult:
-    """Run the production-style service and collect its metric emissions."""
+                   golf: bool = True,
+                   telemetry=None) -> ProductionResult:
+    """Run the production-style service and collect its metric emissions.
+
+    An optional :class:`~repro.telemetry.TelemetryHub` observes request
+    latency and outcomes under the ``production`` service label on top
+    of the runtime-level scheduler/GC/detector instruments.
+    """
     config = config or ProductionConfig()
     gc_config = GolfConfig() if golf else GolfConfig.baseline()
     rt = Runtime(procs=config.procs, seed=config.seed, config=gc_config)
+    if telemetry is not None:
+        telemetry.attach(rt)
+    svc = telemetry.service("production") if telemetry is not None else None
     rt.enable_periodic_gc(config.periodic_gc_s * SECOND)
 
     host_rng = random.Random(config.seed ^ 0x9E4D)
@@ -158,6 +167,8 @@ def run_production(config: Optional[ProductionConfig] = None,
             yield Recv(reply)
             t1 = yield Now()
             latency_window.append(t1 - t0)
+            if svc is not None:
+                svc.observe_request(t1 - t0)
             yield Sleep(config.think_time_ms * MILLISECOND)
 
     def main():

@@ -1,0 +1,95 @@
+"""repro.telemetry — production-grade observability for the runtime.
+
+Four surfaces behind one :class:`TelemetryHub`:
+
+- **metrics** (:mod:`repro.telemetry.metrics`): Prometheus-model
+  counters/gauges/histograms over the scheduler, GC, detector, semaphore
+  table, and services;
+- **flight recorder** (:mod:`repro.telemetry.recorder`): a bounded ring
+  of structured events with dump-on-incident;
+- **profiles** (:mod:`repro.telemetry.profiles`): goroutine and heap
+  profiles plus cross-run leak fingerprinting;
+- **exporters** (:mod:`repro.telemetry.export`): ``.prom`` textfiles,
+  JSON artifacts, and the ``repro obs`` report.
+
+Everything is timestamped from the virtual clock, so two runs of the
+same ``(program, procs, seed)`` produce byte-identical artifacts.
+"""
+
+from repro.telemetry.export import (
+    ObsResult,
+    run_observed_benchmark,
+    validate_exposition,
+    write_artifacts,
+    write_json,
+    write_prometheus,
+)
+from repro.telemetry.hub import (
+    ServiceInstruments,
+    TelemetryHub,
+    get_default_hub,
+    set_default_hub,
+)
+from repro.telemetry.metrics import (
+    COUNTER,
+    DURATION_BUCKETS_NS,
+    GAUGE,
+    HISTOGRAM,
+    Metric,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+from repro.telemetry.profiles import (
+    FingerprintStore,
+    GoroutineProfileSampler,
+    HeapSiteRecord,
+    format_heap_profile,
+    heap_profile,
+    leak_fingerprint,
+    normalize_site,
+)
+from repro.telemetry.recorder import (
+    DEBUG,
+    ERROR,
+    FlightRecorder,
+    INFO,
+    Incident,
+    RecorderEvent,
+    RingBuffer,
+    WARN,
+)
+
+__all__ = [
+    "COUNTER",
+    "DEBUG",
+    "DURATION_BUCKETS_NS",
+    "ERROR",
+    "FingerprintStore",
+    "FlightRecorder",
+    "GAUGE",
+    "GoroutineProfileSampler",
+    "HISTOGRAM",
+    "HeapSiteRecord",
+    "INFO",
+    "Incident",
+    "Metric",
+    "MetricsRegistry",
+    "ObsResult",
+    "RecorderEvent",
+    "RingBuffer",
+    "SIZE_BUCKETS",
+    "ServiceInstruments",
+    "TelemetryHub",
+    "WARN",
+    "format_heap_profile",
+    "get_default_hub",
+    "heap_profile",
+    "leak_fingerprint",
+    "normalize_site",
+    "run_observed_benchmark",
+    "set_default_hub",
+    "validate_exposition",
+    "write_artifacts",
+    "write_json",
+    "write_prometheus",
+]

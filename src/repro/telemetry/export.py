@@ -1,0 +1,223 @@
+"""Exporters: ``.prom`` textfiles, JSON artifacts, and the operator report.
+
+Also home of :func:`validate_exposition` — a strict parser for the
+Prometheus text format used by the CI smoke job (and the tests) to prove
+the exposition we write is actually scrapeable — and of
+:func:`run_observed_benchmark`, the driver behind ``python -m repro obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Optional
+
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.profiles import format_heap_profile, heap_profile
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$'
+)
+_LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$'
+)
+
+
+def validate_exposition(text: str) -> int:
+    """Parse a Prometheus text exposition strictly.
+
+    Returns the number of samples; raises :class:`ValueError` on any
+    malformed line (the CI job treats that as a build failure).
+    """
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_labels(labels):
+                if not _LABEL_RE.match(pair):
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}")
+        samples += 1
+    if samples == 0:
+        raise ValueError("exposition contains no samples")
+    return samples
+
+
+def _split_labels(labels: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts, buf, in_quotes, escaped = [], [], False, False
+    for ch in labels:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            buf.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            parts.append("".join(buf))
+            buf = []
+            continue
+        buf.append(ch)
+    if buf:
+        parts.append("".join(buf))
+    return parts
+
+
+# -- artifact writing --------------------------------------------------------
+
+
+def write_prometheus(hub: TelemetryHub, path: str) -> str:
+    text = hub.render_prometheus()
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path
+
+
+def write_json(data: dict, path: str) -> str:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+    return path
+
+
+def write_artifacts(hub: TelemetryHub, out_dir: str,
+                    basename: str) -> Dict[str, str]:
+    """Write the full artifact set; returns ``{kind: path}``.
+
+    - ``<basename>.prom`` — Prometheus text exposition,
+    - ``<basename>-metrics.json`` — JSON snapshot (round-trips),
+    - ``<basename>-recorder.txt`` — flight-recorder dump with incidents,
+    - ``<basename>-fingerprints.json`` — leak fingerprint store.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "prometheus": write_prometheus(
+            hub, os.path.join(out_dir, f"{basename}.prom")),
+        "metrics_json": write_json(
+            hub.snapshot(), os.path.join(out_dir, f"{basename}-metrics.json")),
+    }
+    recorder_path = os.path.join(out_dir, f"{basename}-recorder.txt")
+    with open(recorder_path, "w") as fh:
+        fh.write(hub.recorder.dump() + "\n")
+    paths["recorder"] = recorder_path
+    paths["fingerprints"] = write_json(
+        hub.fingerprints.as_dict(),
+        os.path.join(out_dir, f"{basename}-fingerprints.json"))
+    return paths
+
+
+# -- the `repro obs` driver --------------------------------------------------
+
+
+class ObsResult:
+    """Everything ``python -m repro obs`` produced."""
+
+    def __init__(self, benchmark: str, procs: int, seed: int):
+        self.benchmark = benchmark
+        self.procs = procs
+        self.seed = seed
+        self.hub: Optional[TelemetryHub] = None
+        self.reports = 0
+        self.reclaimed = 0
+        self.heap_profile_text = ""
+        self.artifact_paths: Dict[str, str] = {}
+
+    def format(self) -> str:
+        hub = self.hub
+        lines = [
+            f"observability report: {self.benchmark} "
+            f"(procs={self.procs}, seed={self.seed})",
+            f"  leak reports    : {self.reports}  "
+            f"(reclaimed {self.reclaimed})",
+            f"  gc cycles       : "
+            f"{int(_metric_total(hub, 'repro_gc_cycles_total'))}",
+            f"  context switches: "
+            f"{int(hub.ctx_switches.value)}",
+            f"  recorder        : {len(hub.recorder)} event(s), "
+            f"{hub.recorder.dropped} dropped, "
+            f"{len(hub.recorder.incidents)} incident(s)",
+            "",
+            hub.fingerprints.format(),
+            "",
+            self.heap_profile_text,
+        ]
+        if self.artifact_paths:
+            lines.append("")
+            lines.append("artifacts:")
+            for kind in sorted(self.artifact_paths):
+                lines.append(f"  {kind:<13s}: {self.artifact_paths[kind]}")
+        return "\n".join(lines)
+
+
+def _metric_total(hub: TelemetryHub, name: str) -> float:
+    metric = hub.registry.get(name)
+    if metric is None:
+        return 0.0
+    return sum(child.value for _, child in metric.series())
+
+
+def run_observed_benchmark(
+    benchmark: str, procs: int = 2, seed: int = 0,
+    hub: Optional[TelemetryHub] = None,
+    fingerprint_db: Optional[str] = None,
+    run_id: Optional[str] = None,
+) -> ObsResult:
+    """Run one microbenchmark with full telemetry and return the evidence.
+
+    ``fingerprint_db`` points at a persistent store: fingerprints from
+    previous invocations are merged in first, so a second identical run
+    aggregates onto the existing records instead of re-reporting.
+    """
+    from repro.microbench.harness import run_microbenchmark
+    from repro.microbench.registry import benchmarks_by_name
+    from repro.telemetry import recorder as rec
+
+    benches = benchmarks_by_name()
+    if benchmark not in benches:
+        raise KeyError(
+            f"unknown benchmark {benchmark!r}; see "
+            f"repro.microbench.registry.all_benchmarks()")
+    hub = hub or TelemetryHub(min_severity=rec.DEBUG)
+    if fingerprint_db and os.path.exists(fingerprint_db):
+        hub.fingerprints.load(fingerprint_db)
+    hub.fingerprints.begin_run(
+        run_id or f"obs-{benchmark}-p{procs}-s{seed}-"
+                  f"{hub.fingerprints.runs_started + 1}")
+
+    result = ObsResult(benchmark, procs, seed)
+    result.hub = hub
+    captured: List = []
+
+    def hook(rt) -> None:
+        hub.attach(rt)
+        captured.append(rt)
+
+    run_microbenchmark(benches[benchmark], procs=procs, seed=seed,
+                       rt_hook=hook)
+    rt = captured[0]
+    rt.gc_until_quiescent()
+    hub.sampler.sample(rt)
+    result.reports = rt.reports.total()
+    result.reclaimed = rt.collector.stats.total_goroutines_reclaimed
+    result.heap_profile_text = format_heap_profile(heap_profile(rt.heap))
+    if fingerprint_db:
+        hub.fingerprints.save(fingerprint_db)
+    rt.shutdown()
+    return result

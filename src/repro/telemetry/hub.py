@@ -1,0 +1,381 @@
+"""The :class:`TelemetryHub`: one object wiring every telemetry surface.
+
+The hub owns the metrics registry, the flight recorder, the profile
+sampler, and the fingerprint store, and exposes the narrow callback
+surface the runtime calls into.  Cost discipline:
+
+- when no hub is attached, every instrumentation site in the scheduler /
+  collector / watchdog is a single ``x.telemetry is None`` check — the
+  no-op fast path the overhead benchmark pins;
+- when attached, hot-path callbacks (:meth:`on_context_switch`,
+  :meth:`on_park`, :meth:`on_wake`) touch pre-bound instrument children
+  only — no registry lookups, no string formatting unless an event
+  actually reaches the recorder.
+
+One hub may be attached to several runtimes in sequence (redeployments
+in the long-run service, per-schedule runtimes in a chaos campaign, the
+CLI's ``--metrics`` plumbing): metrics aggregate across all of them,
+which is exactly what a fleet-level scrape would see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.telemetry import recorder as rec
+from repro.telemetry.metrics import (
+    DURATION_BUCKETS_NS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+from repro.telemetry.profiles import (
+    FingerprintStore,
+    GoroutineProfileSampler,
+    normalize_site,
+)
+
+_default_hub: Optional["TelemetryHub"] = None
+
+
+def set_default_hub(hub: Optional["TelemetryHub"]) -> None:
+    """Install a process-wide hub that new runtimes auto-attach to.
+
+    The CLI's ``--metrics``/``--trace`` plumbing uses this so every
+    runtime an experiment builds internally reports into one place.
+    """
+    global _default_hub
+    _default_hub = hub
+
+
+def get_default_hub() -> Optional["TelemetryHub"]:
+    return _default_hub
+
+
+class ServiceInstruments:
+    """Pre-bound per-service instrument children (request-path hot set)."""
+
+    __slots__ = ("name", "latency", "_outcomes", "_requests_metric",
+                 "retries", "timeouts", "breaker_state", "breaker_opens",
+                 "breaker_rejected")
+
+    def __init__(self, hub: "TelemetryHub", name: str):
+        self.name = name
+        self.latency = hub.service_latency.labels(name)
+        self._requests_metric = hub.service_requests
+        self._outcomes: Dict[str, object] = {}
+        self.retries = hub.service_retries.labels(name)
+        self.timeouts = hub.service_timeouts.labels(name)
+        self.breaker_state = hub.service_breaker_state.labels(name)
+        self.breaker_opens = hub.service_breaker_opens.labels(name)
+        self.breaker_rejected = hub.service_breaker_rejected.labels(name)
+
+    def observe_request(self, latency_ns: int, outcome: str = "ok") -> None:
+        self.latency.observe(latency_ns)
+        child = self._outcomes.get(outcome)
+        if child is None:
+            child = self._requests_metric.labels(self.name, outcome)
+            self._outcomes[outcome] = child
+        child.inc()
+
+    def set_breaker(self, state: str) -> None:
+        """Encode breaker state as a gauge: closed=0, half-open=1, open=2."""
+        self.breaker_state.set(
+            {"closed": 0, "half-open": 1, "open": 2}.get(state, -1))
+
+
+class TelemetryHub:
+    """Aggregates metrics, events, profiles, and fingerprints.
+
+    Args:
+        recorder_capacity: flight-recorder ring size.
+        min_severity: record-time severity floor (``rec.DEBUG`` keeps
+            per-park/wake scheduler events; the default ``rec.INFO``
+            keeps the ring for cycle/incident-grade events).
+        categories: record-time category allowlist (None = all).
+    """
+
+    def __init__(self, recorder_capacity: int = 8192,
+                 min_severity: int = rec.INFO,
+                 categories=None):
+        self.registry = MetricsRegistry()
+        self.recorder = rec.FlightRecorder(
+            capacity=recorder_capacity, min_severity=min_severity,
+            categories=categories)
+        self.fingerprints = FingerprintStore()
+        self.sampler = GoroutineProfileSampler()
+        self.clock = None
+        self.runtimes_attached = 0
+        self._build_instruments()
+
+    def _build_instruments(self) -> None:
+        reg = self.registry
+        # Scheduler.
+        self.ctx_switches = reg.counter(
+            "repro_sched_context_switches_total",
+            "Instructions dispatched onto a virtual processor")
+        self.runq_depth = reg.gauge(
+            "repro_sched_runq_depth",
+            "Runnable-queue depth at the last dispatch")
+        self.runq_depth_hist = reg.histogram(
+            "repro_sched_runq_depth_sample",
+            "Runnable-queue depth sampled at every dispatch",
+            buckets=SIZE_BUCKETS)
+        self.spawned = reg.counter(
+            "repro_sched_goroutines_spawned_total",
+            "Goroutines created (go statements)")
+        self.finished = reg.counter(
+            "repro_sched_goroutines_finished_total",
+            "Goroutines that reached the end of their body")
+        self.parks = reg.counter(
+            "repro_sched_park_total",
+            "Goroutine parks by wait reason", labelnames=("reason",))
+        self.wakes = reg.counter(
+            "repro_sched_wake_total", "Goroutine wakeups")
+        self.goroutine_panics = reg.counter(
+            "repro_sched_goroutine_panics_total",
+            "Goroutine-scoped panics (chaos injections and recovered "
+            "faults)")
+        self.crashes = reg.counter(
+            "repro_sched_crashes_total",
+            "Program-fatal panics observed by the scheduler")
+        self._park_children: Dict[str, object] = {}
+        # GC / heap.
+        self.gc_cycles = reg.counter(
+            "repro_gc_cycles_total", "Collection cycles by mode and reason",
+            labelnames=("mode", "reason"))
+        self.gc_pause = reg.histogram(
+            "repro_gc_pause_ns", "Stop-the-world pause per cycle",
+            unit="ns", buckets=DURATION_BUCKETS_NS)
+        self.gc_mark_clock = reg.histogram(
+            "repro_gc_mark_clock_ns", "Marking-phase cost per cycle",
+            unit="ns", buckets=DURATION_BUCKETS_NS)
+        self.gc_mark_work = reg.counter(
+            "repro_gc_mark_work_total", "Mark work units (edges traversed)")
+        self.gc_swept_bytes = reg.counter(
+            "repro_gc_swept_bytes_total", "Bytes reclaimed by the sweeper",
+            unit="bytes")
+        self.heap_live_bytes = reg.gauge(
+            "repro_heap_live_bytes", "Live heap bytes after the last cycle",
+            unit="bytes")
+        self.heap_live_objects = reg.gauge(
+            "repro_heap_live_objects",
+            "Live heap objects after the last cycle")
+        self.reachable_dead_bytes = reg.gauge(
+            "repro_gc_reachable_dead_bytes",
+            "Bytes kept reachable only by deadlocked goroutines "
+            "(the liveness precision gap)", unit="bytes")
+        self.reachable_dead_bytes_total = reg.counter(
+            "repro_gc_reachable_dead_bytes_total",
+            "Cumulative reachable-but-dead bytes across cycles",
+            unit="bytes")
+        self.sema_waiters = reg.gauge(
+            "repro_sema_waiters",
+            "Goroutines parked in the semaphore table")
+        self.live_goroutines = reg.gauge(
+            "repro_sched_live_goroutines", "Live goroutines (non-dead)")
+        self.blocked_goroutines = reg.gauge(
+            "repro_sched_blocked_goroutines",
+            "Goroutines blocked or kept-deadlocked")
+        # Detector.
+        self.leaks_found = reg.counter(
+            "repro_detector_leaks_total",
+            "Partial deadlocks reported, by defect site",
+            labelnames=("site",))
+        self.leaks_kept = reg.counter(
+            "repro_detector_leaks_kept_total",
+            "Reported goroutines kept alive (finalizers / no recovery)",
+            labelnames=("site",))
+        self.leaks_reclaimed = reg.counter(
+            "repro_detector_leaks_reclaimed_total",
+            "Reported goroutines forcibly reclaimed, by defect site",
+            labelnames=("site",))
+        self.liveness_checks = reg.counter(
+            "repro_detector_liveness_checks_total",
+            "Liveness checks performed by the detection fixpoint")
+        # Watchdog / chaos.
+        self.stalls = reg.counter(
+            "repro_watchdog_stalls_total", "Global stalls detected")
+        self.faults_injected = reg.counter(
+            "repro_chaos_faults_injected_total",
+            "Chaos faults that fired, by kind", labelnames=("kind",))
+        # Services.
+        self.service_requests = reg.counter(
+            "repro_service_requests_total",
+            "Requests completed, by service and outcome",
+            labelnames=("service", "outcome"))
+        self.service_latency = reg.histogram(
+            "repro_service_request_latency_ns",
+            "End-to-end request latency", labelnames=("service",),
+            unit="ns", buckets=DURATION_BUCKETS_NS)
+        self.service_retries = reg.counter(
+            "repro_service_retries_total", "Downstream retries",
+            labelnames=("service",))
+        self.service_timeouts = reg.counter(
+            "repro_service_timeouts_total", "Downstream deadline hits",
+            labelnames=("service",))
+        self.service_breaker_state = reg.gauge(
+            "repro_service_breaker_state",
+            "Circuit-breaker state (0=closed, 1=half-open, 2=open)",
+            labelnames=("service",))
+        self.service_breaker_opens = reg.counter(
+            "repro_service_breaker_opens_total", "Circuit-breaker opens",
+            labelnames=("service",))
+        self.service_breaker_rejected = reg.counter(
+            "repro_service_breaker_rejected_total",
+            "Calls rejected by an open breaker", labelnames=("service",))
+        self.clock_ns = reg.gauge(
+            "repro_clock_ns", "Virtual clock at the last snapshot",
+            unit="ns")
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, rt) -> "TelemetryHub":
+        """Wire this hub into a runtime (idempotent per runtime)."""
+        if rt.sched.telemetry is not self:
+            rt.sched.telemetry = self
+            self.runtimes_attached += 1
+        self.clock = rt.clock
+        self.recorder.clock = rt.clock
+        return self
+
+    def detach(self, rt) -> None:
+        if rt.sched.telemetry is self:
+            rt.sched.telemetry = None
+
+    def service(self, name: str) -> ServiceInstruments:
+        return ServiceInstruments(self, name)
+
+    # -- scheduler callbacks (hot) -------------------------------------------
+
+    def on_context_switch(self, runq_depth: int) -> None:
+        self.ctx_switches.inc()
+        self.runq_depth.set(runq_depth)
+        self.runq_depth_hist.observe(runq_depth)
+
+    def on_spawn(self, g) -> None:
+        self.spawned.inc()
+
+    def on_park(self, g, reason) -> None:
+        key = reason.value
+        child = self._park_children.get(key)
+        if child is None:
+            child = self.parks.labels(key)
+            self._park_children[key] = child
+        child.inc()
+        self.recorder.record("sched", "go-park", g.goid, key,
+                             severity=rec.DEBUG)
+
+    def on_wake(self, g) -> None:
+        self.wakes.inc()
+        self.recorder.record("sched", "go-wake", g.goid,
+                             severity=rec.DEBUG)
+
+    def on_finish(self, g) -> None:
+        self.finished.inc()
+
+    # -- scheduler callbacks (cold) ------------------------------------------
+
+    def on_goroutine_panic(self, goid: int, message: str) -> None:
+        self.goroutine_panics.inc()
+        self.recorder.record("sched", "go-panic", goid, message,
+                             severity=rec.ERROR)
+        self.recorder.incident("goroutine-panic", f"g{goid}: {message}")
+
+    def on_crash(self, goid: int, message: str) -> None:
+        self.crashes.inc()
+        self.recorder.record("sched", "crash", goid, message,
+                             severity=rec.ERROR)
+        self.recorder.incident("fatal-panic", f"g{goid}: {message}")
+
+    # -- collector / detector callbacks --------------------------------------
+
+    def on_gc_cycle(self, cs, sched, heap) -> None:
+        self.gc_cycles.labels(cs.mode, cs.reason).inc()
+        self.gc_pause.observe(cs.pause_ns)
+        self.gc_mark_clock.observe(cs.mark_clock_ns)
+        self.gc_mark_work.inc(cs.mark_work_units)
+        self.gc_swept_bytes.inc(cs.swept_bytes)
+        self.liveness_checks.inc(cs.liveness_checks)
+        self.reachable_dead_bytes.set(cs.reachable_dead_bytes)
+        self.reachable_dead_bytes_total.inc(cs.reachable_dead_bytes)
+        # Per-cycle gauges — the GC is the natural sampling cadence the
+        # paper's deployments report on.
+        self.heap_live_bytes.set(heap.live_bytes)
+        self.heap_live_objects.set(heap.live_objects)
+        self.sema_waiters.set(len(sched.semtable))
+        self.live_goroutines.set(len(sched.live_goroutines()))
+        self.blocked_goroutines.set(len(sched.blocked_goroutines()))
+        self.recorder.record(
+            "gc", "gc-cycle", 0,
+            f"#{cs.cycle} {cs.mode}({cs.reason}) "
+            f"iters={cs.mark_iterations} work={cs.mark_work_units} "
+            f"swept={cs.swept_bytes}B pause={cs.pause_ns}ns "
+            f"deadlocks={cs.deadlocks_detected}")
+
+    def _site_label(self, report) -> str:
+        label = getattr(report, "label", "")
+        if label:
+            return label
+        return (f"{normalize_site(report.go_site)} -> "
+                f"{normalize_site(report.block_site)}")
+
+    def on_leak_report(self, report, kept: bool) -> None:
+        site = self._site_label(report)
+        self.leaks_found.labels(site).inc()
+        if kept:
+            self.leaks_kept.labels(site).inc()
+        record, _ = self.fingerprints.observe(report)
+        self.recorder.record(
+            "detector", "partial-deadlock", report.goid,
+            f"[{report.wait_reason}] at {normalize_site(report.block_site)}",
+            severity=rec.WARN)
+        self.recorder.incident(
+            "leak-report",
+            f"goroutine {report.goid} [{report.wait_reason}] "
+            f"spawned {normalize_site(report.go_site)} "
+            f"blocked {normalize_site(report.block_site)} "
+            f"fingerprint {record.fingerprint}")
+
+    def on_reclaim(self, g) -> None:
+        site = g.deadlock_label or (
+            f"{normalize_site(g.go_site)} -> "
+            f"{normalize_site(g.block_site())}")
+        self.leaks_reclaimed.labels(site).inc()
+        self.recorder.record("detector", "go-reclaim", g.goid, site)
+
+    # -- watchdog / chaos callbacks ------------------------------------------
+
+    def on_stall(self, report) -> None:
+        self.stalls.inc()
+        self.recorder.record(
+            "watchdog", "stall", 0,
+            f"{len(report.goids)} user goroutine(s) wedged: "
+            f"{list(report.goids)}", severity=rec.ERROR)
+        self.recorder.incident("watchdog-stall", report.dump)
+
+    def on_fault_injected(self, kind: str, goid: int, detail: str) -> None:
+        self.faults_injected.labels(kind).inc()
+        self.recorder.record("chaos", kind, goid, detail,
+                             severity=rec.WARN)
+
+    # -- outputs -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable artifact covering every surface."""
+        if self.clock is not None:
+            self.clock_ns.set(self.clock.now)
+        return {
+            "metrics": self.registry.snapshot(),
+            "recorder": {
+                "buffered": len(self.recorder),
+                "dropped": self.recorder.dropped,
+                "incidents": len(self.recorder.incidents),
+            },
+            "fingerprints": self.fingerprints.as_dict(),
+            "profile_samples": self.sampler.history(),
+        }
+
+    def render_prometheus(self) -> str:
+        if self.clock is not None:
+            self.clock_ns.set(self.clock.now)
+        return self.registry.render_prometheus()

@@ -1,0 +1,303 @@
+"""The metrics registry: Counter / Gauge / Histogram with labels.
+
+Instruments follow the Prometheus data model — monotonic counters,
+point-in-time gauges, and cumulative-bucket histograms, each optionally
+split by a fixed set of label names.  Two renderings are provided:
+
+- :meth:`MetricsRegistry.render_prometheus` — the text exposition format
+  (``name{label="value"} 42``), suitable for a ``.prom`` textfile
+  collector drop;
+- :meth:`MetricsRegistry.snapshot` — a JSON-serializable dict that
+  round-trips losslessly (the artifact the CI smoke job validates).
+
+Everything is deterministic: samples are ordered by metric name and then
+by label values, timestamps come from the *virtual* clock (exposed as the
+``repro_clock_ns`` gauge rather than per-sample suffixes), and no wall
+time ever leaks in.  Two runs of the same ``(program, procs, seed)``
+therefore produce byte-identical expositions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default histogram buckets for virtual-time durations (ns): 1us..1s.
+DURATION_BUCKETS_NS = (
+    1_000, 10_000, 100_000, 1_000_000, 5_000_000, 10_000_000,
+    50_000_000, 100_000_000, 500_000_000, 1_000_000_000,
+)
+
+#: Default buckets for dimensionless sizes/depths.
+SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+class CounterChild:
+    """One labeled series of a counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class GaugeChild:
+    """One labeled series of a gauge."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class HistogramChild:
+    """One labeled series of a histogram (cumulative buckets)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for +Inf
+        self.sum = 0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative_counts(self) -> List[int]:
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+
+_CHILD_TYPES = {COUNTER: CounterChild, GAUGE: GaugeChild,
+                HISTOGRAM: HistogramChild}
+
+
+class Metric:
+    """One named instrument, fanned out into per-label-value children.
+
+    A metric without label names has a single implicit child and exposes
+    ``inc``/``set``/``observe`` directly; labeled metrics hand out
+    children via :meth:`labels` (cache the child on hot paths).
+    """
+
+    __slots__ = ("name", "help", "kind", "labelnames", "unit", "buckets",
+                 "_children")
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: Sequence[str] = (), unit: str = "",
+                 buckets: Tuple[float, ...] = DURATION_BUCKETS_NS):
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self.unit = unit
+        self.buckets = tuple(buckets)
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        if self.kind == HISTOGRAM:
+            return HistogramChild(self.buckets)
+        return _CHILD_TYPES[self.kind]()
+
+    def labels(self, *values: str, **kv: str):
+        """The child for one combination of label values."""
+        if kv:
+            if values:
+                raise ValueError("pass labels positionally or by name")
+            values = tuple(str(kv[name]) for name in self.labelnames)
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {values!r}")
+        child = self._children.get(values)
+        if child is None:
+            child = self._new_child()
+            self._children[values] = child
+        return child
+
+    # Convenience passthroughs for label-less metrics.
+
+    def inc(self, amount: float = 1) -> None:
+        self._children[()].inc(amount)
+
+    def set(self, value: float) -> None:
+        self._children[()].set(value)
+
+    def dec(self, amount: float = 1) -> None:
+        self._children[()].dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._children[()].observe(value)
+
+    @property
+    def value(self):
+        return self._children[()].value
+
+    def series(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        """(label values, child) pairs in deterministic order."""
+        return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Holds every instrument; renders expositions and snapshots."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _register(self, name: str, help_text: str, kind: str,
+                  labelnames: Sequence[str], unit: str,
+                  buckets: Tuple[float, ...] = DURATION_BUCKETS_NS) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (existing.kind != kind
+                    or existing.labelnames != tuple(labelnames)):
+                raise ValueError(
+                    f"metric {name!r} re-registered with a different "
+                    f"kind/labels")
+            return existing
+        metric = Metric(name, help_text, kind, labelnames, unit, buckets)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = (), unit: str = "") -> Metric:
+        return self._register(name, help_text, COUNTER, labelnames, unit)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = (), unit: str = "") -> Metric:
+        return self._register(name, help_text, GAUGE, labelnames, unit)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (), unit: str = "",
+                  buckets: Tuple[float, ...] = DURATION_BUCKETS_NS) -> Metric:
+        return self._register(name, help_text, HISTOGRAM, labelnames, unit,
+                              buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- renderings ----------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The text exposition format, deterministically ordered."""
+        lines: List[str] = []
+        for metric in self:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for values, child in metric.series():
+                label_str = self._label_str(metric.labelnames, values)
+                if metric.kind == HISTOGRAM:
+                    lines.extend(self._histogram_lines(
+                        metric, label_str, metric.labelnames, values, child))
+                else:
+                    lines.append(
+                        f"{metric.name}{label_str} "
+                        f"{_format_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _label_str(names: Tuple[str, ...], values: Tuple[str, ...],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+        pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+        if extra is not None:
+            pairs.append(f'{extra[0]}="{extra[1]}"')
+        if not pairs:
+            return ""
+        return "{" + ",".join(pairs) + "}"
+
+    def _histogram_lines(self, metric: Metric, label_str: str,
+                         names: Tuple[str, ...], values: Tuple[str, ...],
+                         child: HistogramChild) -> List[str]:
+        lines = []
+        cumulative = child.cumulative_counts()
+        bounds = [_format_value(b) for b in child.buckets] + ["+Inf"]
+        for bound, count in zip(bounds, cumulative):
+            bucket_labels = self._label_str(names, values, ("le", bound))
+            lines.append(f"{metric.name}_bucket{bucket_labels} {count}")
+        lines.append(
+            f"{metric.name}_sum{label_str} {_format_value(child.sum)}")
+        lines.append(f"{metric.name}_count{label_str} {child.count}")
+        return lines
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable snapshot of every series."""
+        out: Dict[str, dict] = {}
+        for metric in self:
+            samples = []
+            for values, child in metric.series():
+                labels = dict(zip(metric.labelnames, values))
+                if metric.kind == HISTOGRAM:
+                    samples.append({
+                        "labels": labels,
+                        "buckets": list(child.buckets),
+                        "counts": list(child.counts),
+                        "sum": child.sum,
+                        "count": child.count,
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "unit": metric.unit,
+                "samples": samples,
+            }
+        return out

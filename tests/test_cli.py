@@ -27,6 +27,25 @@ class TestParser:
         assert args.runs == 30
         assert args.out is None
 
+    def test_obs_subcommand_defaults(self):
+        args = build_parser().parse_args(["obs"])
+        assert args.command == "obs"
+        assert args.benchmark == "cgo/sendmail"
+        assert args.seed == 0
+        assert args.procs == 2
+        assert args.fingerprint_db is None
+
+    def test_telemetry_flags_on_every_subcommand(self):
+        parser = build_parser()
+        for command in ("table1", "figure4", "chaos", "obs", "all"):
+            args = parser.parse_args([command, "--metrics", "--trace",
+                                      "--out-dir", "x"])
+            assert args.metrics and args.trace
+            assert args.out_dir == "x"
+            args = parser.parse_args([command])
+            assert not args.metrics and not args.trace
+            assert args.out_dir is None
+
 
 class TestExecution:
     def test_rq1b_prints_ratios(self, capsys):
@@ -53,3 +72,20 @@ class TestExecution:
         assert os.path.exists(os.path.join(out_dir, "rq1b.txt"))
         with open(os.path.join(out_dir, "rq1b.txt")) as fh:
             assert "GOLF" in fh.read()
+
+    def test_metrics_flag_writes_telemetry_artifacts(self, tmp_path,
+                                                     capsys):
+        from repro.telemetry import get_default_hub, validate_exposition
+
+        out_dir = str(tmp_path / "telemetry")
+        assert main(["figure4", "--repeats", "1", "--metrics",
+                     "--out-dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry prometheus:" in out
+        prom = os.path.join(out_dir, "figure4-telemetry.prom")
+        with open(prom) as fh:
+            assert validate_exposition(fh.read()) > 0
+        assert os.path.exists(
+            os.path.join(out_dir, "figure4-telemetry-metrics.json"))
+        # The default hub is uninstalled on the way out.
+        assert get_default_hub() is None

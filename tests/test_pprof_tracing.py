@@ -2,6 +2,7 @@
 
 from repro import GolfConfig, Runtime
 from repro.runtime.clock import MICROSECOND
+from repro.runtime.goroutine import GStatus
 from repro.runtime.instructions import (
     Go,
     MakeChan,
@@ -10,7 +11,11 @@ from repro.runtime.instructions import (
     Send,
     Sleep,
 )
-from repro.runtime.pprof import format_goroutine_profile, goroutine_profile
+from repro.runtime.pprof import (
+    format_goroutine_profile,
+    format_stack_dump,
+    goroutine_profile,
+)
 from tests.conftest import run_to_end
 
 
@@ -76,6 +81,70 @@ class TestGoroutineProfile:
         run_to_end(rt, main)
         records = goroutine_profile(rt)
         assert sum(r.count for r in records) == 0
+
+
+class TestGoroutineProfileEdgeStates:
+    def _leak_one(self, rt, label="leaky-sender"):
+        def main():
+            ch = yield MakeChan(0)
+
+            def sender(c):
+                yield Send(c, 1)
+
+            yield Go(sender, c := ch, name=label)
+            del ch, c
+            yield Sleep(20 * MICROSECOND)
+
+        run_to_end(rt, main)
+
+    def test_pending_reclaim_renders(self, rt):
+        self._leak_one(rt)
+        rt.gc()  # cycle 1: reported, scheduled for reclamation
+        pending = [g for g in rt.sched.allgs
+                   if g.status == GStatus.PENDING_RECLAIM]
+        assert len(pending) == 1
+        records = goroutine_profile(rt)
+        states = {r.status for r in records}
+        assert "pending-reclaim" in states
+        text = format_goroutine_profile(rt)
+        assert "pending-reclaim" in text
+        assert "chan send" in text
+
+    def test_deadlocked_kept_renders(self):
+        rt = Runtime(procs=2, seed=7, config=GolfConfig.monitor_only())
+        self._leak_one(rt)
+        rt.gc()
+        rt.gc()
+        kept = [g for g in rt.sched.allgs
+                if g.status == GStatus.DEADLOCKED]
+        assert len(kept) == 1
+        text = format_goroutine_profile(rt)
+        assert "deadlocked" in text
+        # The stack dump prints the wait reason (Go style), not the
+        # status — the kept goroutine must still be listed.
+        assert f"goroutine {kept[0].goid} [chan send]" in format_stack_dump(rt)
+
+    def test_panicking_goroutine_renders(self, rt):
+        self._leak_one(rt)
+        (victim,) = [g for g in rt.sched.allgs
+                     if g.deadlock_label == "leaky-sender"]
+        victim.panicking = RuntimeError("mid-unwind snapshot")
+        text = format_goroutine_profile(rt)
+        assert "chan send" in text
+        assert format_stack_dump(rt)
+
+    def test_labels_group_onto_one_record(self, rt):
+        _pool_runtime(rt, n=4)
+        (pool,) = [r for r in goroutine_profile(rt) if r.count == 4]
+        assert pool.labels == ["pool-worker"] * 4
+
+    def test_reclaimed_goroutine_leaves_profile(self, rt):
+        self._leak_one(rt)
+        rt.gc()
+        rt.gc()  # cycle 2: reclaimed -> DEAD -> invisible
+        states = {r.status for r in goroutine_profile(rt)}
+        assert "pending-reclaim" not in states
+        assert "deadlocked" not in states
 
 
 class TestTracing:

@@ -1,0 +1,155 @@
+"""Tests for the metrics registry and the Prometheus exposition."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    MetricsRegistry,
+    validate_exposition,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec()
+        assert g.value == 11
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 100, 1000))
+        for v in (5, 50, 500, 5000):
+            h.observe(v)
+        child = h.labels()
+        assert child.count == 4
+        assert child.sum == 5555
+        assert child.cumulative_counts() == [1, 2, 3, 4]
+
+    def test_labels_positional_and_by_name(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", labelnames=("service", "outcome"))
+        c.labels("svc", "ok").inc()
+        c.labels(service="svc", outcome="ok").inc()
+        assert c.labels("svc", "ok").value == 2
+
+    def test_label_arity_checked(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", labelnames=("service",))
+        with pytest.raises(ValueError):
+            c.labels("a", "b")
+
+    def test_reregistration_same_shape_returns_existing(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labelnames=("k",))
+        b = reg.counter("x_total", labelnames=("k",))
+        assert a is b
+
+    def test_reregistration_different_shape_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("k",))
+
+
+class TestExposition:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_ops_total", "Operations", labelnames=("kind",))
+        reg.get("repro_ops_total").labels("read").inc(3)
+        reg.get("repro_ops_total").labels("write").inc()
+        reg.gauge("repro_depth", "Queue depth").set(7)
+        h = reg.histogram("repro_lat_ns", "Latency", buckets=(100, 1000))
+        h.observe(50)
+        h.observe(5000)
+        return reg
+
+    def test_renders_help_type_and_samples(self):
+        text = self._populated().render_prometheus()
+        assert "# HELP repro_ops_total Operations" in text
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{kind="read"} 3' in text
+        assert 'repro_ops_total{kind="write"} 1' in text
+        assert "repro_depth 7" in text
+
+    def test_histogram_lines(self):
+        text = self._populated().render_prometheus()
+        assert 'repro_lat_ns_bucket{le="100"} 1' in text
+        assert 'repro_lat_ns_bucket{le="1000"} 1' in text
+        assert 'repro_lat_ns_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_ns_sum 5050" in text
+        assert "repro_lat_ns_count 2" in text
+
+    def test_exposition_validates(self):
+        text = self._populated().render_prometheus()
+        # 2 counter series + 1 gauge + 3 buckets + sum + count = 8.
+        assert validate_exposition(text) == 8
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labelnames=("site",))
+        c.labels('we"ird\\path\nx').inc()
+        text = reg.render_prometheus()
+        assert validate_exposition(text) == 1
+        assert '\\"' in text and "\\n" in text
+
+    def test_deterministic_ordering(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labelnames=("k",))
+        for key in ("zebra", "alpha", "mid"):
+            c.labels(key).inc()
+        reg.gauge("a_gauge").set(1)
+        text = reg.render_prometheus()
+        # Metrics sorted by name; label values sorted within a metric.
+        assert text.index("a_gauge") < text.index("x_total")
+        assert (text.index('k="alpha"') < text.index('k="mid"')
+                < text.index('k="zebra"'))
+
+
+class TestValidator:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            validate_exposition("this is not a sample\n")
+
+    def test_rejects_unknown_comment(self):
+        with pytest.raises(ValueError, match="unknown comment"):
+            validate_exposition("# FOO bar\nx 1\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no samples"):
+            validate_exposition("# TYPE x counter\n")
+
+    def test_accepts_inf(self):
+        assert validate_exposition('x_bucket{le="+Inf"} 3\n') == 1
+
+
+class TestSnapshot:
+    def test_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("k",)).labels("a").inc(2)
+        h = reg.histogram("h_ns", buckets=(10,))
+        h.observe(5)
+        reg.gauge("g").set(math.pi)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["x_total"]["samples"][0] == {
+            "labels": {"k": "a"}, "value": 2}
+        assert snap["h_ns"]["samples"][0]["counts"] == [1, 0]
