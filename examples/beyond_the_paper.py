@@ -37,6 +37,7 @@ from repro.runtime.instructions import (
 # --- Part 1: liveness hints -------------------------------------------------
 
 def listing4_program():
+    # vet: expect send-no-recv
     def main():
         ch = yield MakeChan(0)
         yield SetGlobal("metrics.events", ch)  # package-level channel
@@ -71,6 +72,7 @@ def racy_service():
     """A leak hidden behind an unlikely select ordering: the cleanup
     branch forgets its worker only when the shutdown case fires first."""
 
+    # vet: expect send-may-drop
     def main():
         requests = yield MakeChan(1)
         shutdown = yield MakeChan(1)

@@ -31,6 +31,7 @@ from repro.runtime.instructions import (
 from repro.runtime.objects import Box, Struct
 
 
+# vet: expect send-no-recv
 def listing4_global_channel():
     ch = yield MakeChan(0, label="package-level ch")
     yield SetGlobal("pkg.ch", ch)
@@ -41,6 +42,7 @@ def listing4_global_channel():
     yield Go(sender, name="global-ch-sender")
 
 
+# vet: expect send-no-recv
 def listing5_runaway_heartbeat():
     ch = yield MakeChan(0, label="dispatcher.ch")
     dispatcher = yield Alloc(Struct(ch=ch, ticks=0))
@@ -57,6 +59,7 @@ def listing5_runaway_heartbeat():
     yield Go(sender, name="dispatcher-sender")
 
 
+# vet: expect recv-no-send
 def listing6_finalizer(messages):
     ch = yield MakeChan(0, label="values")
 

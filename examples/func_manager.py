@@ -62,6 +62,7 @@ def concurrent_task(early_return: bool):
 def run(early_return: bool):
     rt = Runtime(procs=2, seed=7, config=GolfConfig())
 
+    # vet: expect recv-may-starve
     def main():
         yield Go(concurrent_task, early_return, name="concurrent-task")
         yield Sleep(200 * MICROSECOND)

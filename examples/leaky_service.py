@@ -53,6 +53,7 @@ def run(golf: bool):
     rt = Runtime(procs=4, seed=2, config=config)
     rt.enable_periodic_gc(500 * MICROSECOND)
 
+    # vet: expect send-may-drop
     def main():
         for i in range(REQUESTS):
             # Every third request hits the buggy handler.

@@ -25,6 +25,7 @@ from repro.runtime.instructions import (
 from repro.runtime.pprof import format_goroutine_profile, format_stack_dump
 
 
+# vet: expect recv-no-close, recv-no-send, send-no-recv
 def main_program():
     jobs = yield MakeChan(0)
     results = yield MakeChan(0)

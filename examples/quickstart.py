@@ -50,6 +50,7 @@ def handle_request():
         print("  request timed out; worker abandoned")
 
 
+# vet: expect send-may-drop
 def main():
     yield Go(handle_request, name="handler")
     yield Sleep(400 * MICROSECOND)  # let the race play out

@@ -1,4 +1,9 @@
-"""Comparator tools from the paper's evaluation: goleak and LeakProf."""
+"""Comparator detectors from the paper's evaluation.
+
+Three points in the detector design space: goleak (dynamic, end-of-test),
+LeakProf (dynamic, sampling, production), and ``repro vet`` (static,
+pre-execution — see :mod:`repro.staticcheck`).
+"""
 
 from repro.baselines.goleak import (
     GoleakRecord,
@@ -7,6 +12,12 @@ from repro.baselines.goleak import (
     verify_none,
 )
 from repro.baselines.leakprof import LeakProf
+from repro.baselines.vet import (
+    StaticLeakError,
+    StaticVetRecord,
+    find_static_leaks,
+    verify_static_none,
+)
 
 __all__ = [
     "GoleakRecord",
@@ -14,4 +25,8 @@ __all__ = [
     "find_leaks",
     "verify_none",
     "LeakProf",
+    "StaticLeakError",
+    "StaticVetRecord",
+    "find_static_leaks",
+    "verify_static_none",
 ]

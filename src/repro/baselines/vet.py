@@ -1,0 +1,88 @@
+"""`repro vet` as a detector baseline: static, pre-execution.
+
+The paper's evaluation compares GOLF against two detectors that need a
+*run*: goleak (end-of-test lingering goroutines) and LeakProf
+(profile-based blocked-goroutine sampling in production).  This module
+registers the static analyzer as a third point in that design space —
+it needs no run at all, at the cost of the precision/recall gap
+quantified by :mod:`repro.staticcheck.crossval`.
+
+The API mirrors :mod:`repro.baselines.goleak`: ``find_static_leaks``
+returns records, ``verify_static_none`` raises on any finding at or
+above a severity threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.staticcheck.model import (
+    ERROR,
+    SEVERITY_RANK,
+    Diagnostic,
+    FunctionReport,
+)
+from repro.staticcheck.report import analyze_callable
+
+
+class StaticVetRecord:
+    """One static diagnostic, shaped like the other baselines' records."""
+
+    __slots__ = ("rule", "severity", "site", "function", "message",
+                 "provenance")
+
+    def __init__(self, function: str, diag: Diagnostic):
+        self.rule = diag.rule
+        self.severity = diag.severity
+        self.site = str(diag.site)
+        self.function = function
+        self.message = diag.message
+        self.provenance = [(role, str(site), detail)
+                           for role, site, detail in diag.provenance]
+
+    @property
+    def dedup_key(self):
+        return (self.rule, self.site)
+
+    def __repr__(self) -> str:
+        return (
+            f"<vet {self.severity} {self.rule} in {self.function} "
+            f"at {self.site}>"
+        )
+
+
+class StaticLeakError(AssertionError):
+    """Raised by :func:`verify_static_none` — mirrors LeakAssertionError."""
+
+    def __init__(self, records: List[StaticVetRecord]):
+        self.records = records
+        lines = [f"{len(records)} static finding(s):"]
+        for record in records:
+            lines.append(f"  {record.severity}: {record.rule} at "
+                         f"{record.site} ({record.function})")
+        super().__init__("\n".join(lines))
+
+
+def find_static_leaks(body: Callable, name: Optional[str] = None,
+                      min_severity: str = ERROR) -> List[StaticVetRecord]:
+    """Statically analyze a goroutine body and return its findings.
+
+    Unlike goleak/LeakProf this never executes ``body``; the verdict is
+    available before the first request is served.  Records below
+    ``min_severity`` (default: definite leaks only) are dropped.
+    """
+    report: FunctionReport = analyze_callable(
+        body, name=name or getattr(body, "__name__", "body"))
+    threshold = SEVERITY_RANK[min_severity]
+    return [StaticVetRecord(report.name, diag)
+            for diag in report.diagnostics
+            if not diag.suppressed
+            and SEVERITY_RANK[diag.severity] >= threshold]
+
+
+def verify_static_none(body: Callable, name: Optional[str] = None,
+                       min_severity: str = ERROR) -> None:
+    """Assert a body has no static findings — the goleak-style gate."""
+    records = find_static_leaks(body, name=name, min_severity=min_severity)
+    if records:
+        raise StaticLeakError(records)

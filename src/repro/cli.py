@@ -5,6 +5,7 @@ Usage::
     python -m repro table1 --runs 30
     python -m repro table2 --duration 15
     python -m repro figure1 --days 21
+    python -m repro vet examples --expect
     python -m repro all --out artifacts/
 
 Each subcommand runs the corresponding experiment driver and prints the
@@ -148,6 +149,61 @@ def _cmd_obs(args) -> str:
     return result.format()
 
 
+def _cmd_vet(args) -> str:
+    """Static partial-deadlock analysis (see docs/STATIC_ANALYSIS.md).
+
+    Exit-code contract: 0 when nothing at or above ``--fail-on`` fires
+    (and, under ``--crossval``, recall >= ``--min-recall`` with zero
+    false positives); otherwise the report is raised as SystemExit, so
+    the process exits 1 with the findings on stderr.  Usage errors exit
+    2 via argparse.
+    """
+    import json
+
+    from repro.staticcheck import run_crossval, vet_paths
+    from repro.telemetry import get_default_hub
+
+    artifact_dir = args.json_dir
+    if args.crossval:
+        result = run_crossval()
+        text = result.to_json() if args.json else result.format_text()
+        if artifact_dir:
+            os.makedirs(artifact_dir, exist_ok=True)
+            path = os.path.join(artifact_dir, "vet-crossval.json")
+            with open(path, "w") as fh:
+                fh.write(result.to_json())
+            text += f"\n  artifact        : {path}"
+        problems = []
+        if result.recall < args.min_recall:
+            problems.append(f"recall {result.recall:.4f} below the "
+                            f"--min-recall floor {args.min_recall:.4f}")
+        if result.fp:
+            problems.append(f"{result.fp} false positive(s) on the fixed "
+                            f"population")
+        if problems:
+            raise SystemExit(text + "\nvet crossval FAILED: "
+                             + "; ".join(problems))
+        return text
+
+    vet = vet_paths(args.paths, expect=args.expect)
+    hub = get_default_hub()
+    if hub is not None:
+        hub.on_vet_run(vet)
+    text = vet.to_json() if args.json else vet.format_text()
+    if artifact_dir:
+        os.makedirs(artifact_dir, exist_ok=True)
+        path = os.path.join(artifact_dir, "vet-report.json")
+        with open(path, "w") as fh:
+            fh.write(vet.to_json())
+        text += f"\n  artifact        : {path}"
+    failures = [] if args.fail_on == "never" else vet.failures(args.fail_on)
+    if failures:
+        raise SystemExit(text + "\nvet FAILED ("
+                         + f"--fail-on {args.fail_on}):\n  "
+                         + "\n  ".join(failures))
+    return text
+
+
 def _cmd_ablations(args) -> str:
     sections = [
         ("fixpoint strategy", FixpointAblation().run().format()),
@@ -170,6 +226,7 @@ _COMMANDS: Dict[str, Callable] = {
     "tester": _cmd_tester,
     "chaos": _cmd_chaos,
     "obs": _cmd_obs,
+    "vet": _cmd_vet,
 }
 
 
@@ -244,6 +301,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json-dir", default="benchmarks/out",
                    help="directory for the campaign JSON artifact")
 
+    p = add("vet", help="static partial-deadlock analysis over goroutine "
+                        "bodies; exits non-zero per --fail-on")
+    p.add_argument("paths", nargs="*", default=["examples"],
+                   help="files or directories to analyze "
+                        "(default: examples/)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the JSON report on stdout instead of text")
+    p.add_argument("--fail-on", default="error",
+                   choices=["info", "warning", "error", "never"],
+                   help="lowest severity that makes the run fail "
+                        "(default: error)")
+    p.add_argument("--expect", action="store_true",
+                   help="enforce '# vet: expect/clean/ok' annotations: "
+                        "annotated findings are required, unannotated "
+                        "ones fail")
+    p.add_argument("--crossval", action="store_true",
+                   help="ignore paths; analyze the microbench registry "
+                        "and report precision/recall vs GOLF's dynamic "
+                        "ground truth")
+    p.add_argument("--min-recall", type=float, default=0.75,
+                   help="crossval recall floor (default: 0.75)")
+    p.add_argument("--json-dir", default=None,
+                   help="also write the JSON report into this directory")
+
     p = add("obs", help="run one benchmark fully observed and report "
                         "(metrics, flight recorder, profiles, "
                         "fingerprints)")
@@ -291,10 +372,10 @@ def main(argv=None) -> int:
         # this hub (Runtime.__init__ auto-attaches the default hub).
         set_default_hub(hub)
     if args.command == "all":
-        # tester, chaos, and obs have their own flags and fail
+        # tester, chaos, obs, and vet have their own flags and fail
         # semantics; they run as explicit subcommands only.
         commands = [c for c in _COMMANDS
-                    if c not in ("tester", "chaos", "obs")]
+                    if c not in ("tester", "chaos", "obs", "vet")]
     else:
         commands = [args.command]
     try:
@@ -302,9 +383,13 @@ def main(argv=None) -> int:
             started = time.time()
             text = _COMMANDS[name](args)
             elapsed = time.time() - started
-            print(f"===== {name} ({elapsed:.1f}s) =====")
-            print(text)
-            print()
+            if getattr(args, "json", False):
+                # Keep machine-readable stdout clean of banners.
+                print(text, end="" if text.endswith("\n") else "\n")
+            else:
+                print(f"===== {name} ({elapsed:.1f}s) =====")
+                print(text)
+                print()
             _archive(args.out, name, text)
     finally:
         if hub is not None:

@@ -13,6 +13,7 @@ from repro.microbench.registry import (
     all_benchmarks,
     benchmarks_by_name,
     correct_benchmarks,
+    ground_truth,
     total_leaky_sites,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "all_benchmarks",
     "benchmarks_by_name",
     "correct_benchmarks",
+    "ground_truth",
     "total_leaky_sites",
 ]

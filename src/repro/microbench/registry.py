@@ -164,3 +164,33 @@ def correct_benchmarks(limit: int = 32) -> List[Microbenchmark]:
     """Fixed variants for the Figure 4 "correct programs" population."""
     fixed = [b for b in all_benchmarks() if b.fixed is not None]
     return fixed[:limit]
+
+
+def ground_truth() -> List[Dict[str, object]]:
+    """The labeled populations behind ``repro vet --crossval``.
+
+    One row per analyzable program, sorted by name: the 73 known-leaky
+    bodies (GOLF's dynamic detector reclaims their annotated sites) and
+    the 32 known-clean fixed variants.  Each row carries the dynamic
+    ground truth the static analyzer is judged against::
+
+        {"name", "source", "population": "leaky" | "fixed",
+         "leaky": bool, "sites": [go-labels], "flaky": bool,
+         "body": generator-function}
+    """
+    rows: List[Dict[str, object]] = []
+    for bench in sorted(all_benchmarks(), key=lambda b: b.name):
+        rows.append({
+            "name": bench.name, "source": bench.source,
+            "population": "leaky", "leaky": True,
+            "sites": list(bench.sites), "flaky": bench.flaky,
+            "body": bench.body,
+        })
+        if bench.fixed is not None:
+            rows.append({
+                "name": f"{bench.name}__fixed", "source": bench.source,
+                "population": "fixed", "leaky": False,
+                "sites": [], "flaky": bench.flaky,
+                "body": bench.fixed,
+            })
+    return rows

@@ -43,7 +43,7 @@ others               ``None``
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Type
 
 from repro.runtime.objects import HeapObject
 
@@ -51,10 +51,30 @@ from repro.runtime.objects import HeapObject
 DEFAULT_CASE = -1
 
 
+def _short(value: Any) -> str:
+    """Compact operand rendering for instruction reprs."""
+    if isinstance(value, HeapObject):
+        addr = getattr(value, "addr", 0)
+        return f"<{value.kind}@{addr:#x}>" if addr else f"<{value.kind}>"
+    if callable(value) and hasattr(value, "__name__"):
+        return value.__name__
+    text = repr(value)
+    return text if len(text) <= 32 else text[:29] + "..."
+
+
 class Instruction:
-    """Base class for everything a goroutine body may yield."""
+    """Base class for everything a goroutine body may yield.
+
+    Every concrete subclass carries a stable :attr:`MNEMONIC` — the
+    canonical lowercase name tools speak (diagnostics, the static
+    analyzer's lowering, trace renderers) instead of matching Python
+    class names — and a uniform ``repr`` built from it.
+    """
 
     __slots__ = ()
+
+    #: Stable lowercase identifier; never derived from the class name.
+    MNEMONIC = "instruction"
 
     def heap_refs(self) -> Tuple[HeapObject, ...]:
         """Heap objects referenced by this instruction's operands.
@@ -64,6 +84,20 @@ class Instruction:
         sender's stack).
         """
         return ()
+
+    def operands(self) -> Tuple[Tuple[str, Any], ...]:
+        """``(slot, value)`` pairs across the class hierarchy, in
+        declaration order."""
+        pairs = []
+        for cls in reversed(type(self).__mro__):
+            for slot in cls.__dict__.get("__slots__", ()):
+                pairs.append((slot, getattr(self, slot)))
+        return tuple(pairs)
+
+    def __repr__(self) -> str:
+        fields = " ".join(f"{name}={_short(value)}"
+                          for name, value in self.operands())
+        return f"<{self.MNEMONIC} {fields}>" if fields else f"<{self.MNEMONIC}>"
 
 
 # ---------------------------------------------------------------------------
@@ -78,6 +112,7 @@ class MakeChan(Instruction):
     """
 
     __slots__ = ("capacity", "label")
+    MNEMONIC = "make-chan"
 
     def __init__(self, capacity: int = 0, label: str = ""):
         if capacity < 0:
@@ -91,6 +126,7 @@ class Send(Instruction):
     channel send, which blocks forever."""
 
     __slots__ = ("channel", "value")
+    MNEMONIC = "send"
 
     def __init__(self, channel: Optional[HeapObject], value: Any = None):
         self.channel = channel
@@ -109,6 +145,7 @@ class Recv(Instruction):
     """``<-ch``; resolves to ``(value, ok)``. ``ch=None`` blocks forever."""
 
     __slots__ = ("channel",)
+    MNEMONIC = "recv"
 
     def __init__(self, channel: Optional[HeapObject]):
         self.channel = channel
@@ -121,6 +158,7 @@ class Close(Instruction):
     """``close(ch)``. Panics on nil or already-closed channels."""
 
     __slots__ = ("channel",)
+    MNEMONIC = "close"
 
     def __init__(self, channel: Optional[HeapObject]):
         self.channel = channel
@@ -133,6 +171,7 @@ class SendCase:
     """A ``case ch <- value`` arm of a select statement."""
 
     __slots__ = ("channel", "value")
+    MNEMONIC = "send-case"
 
     def __init__(self, channel: Optional[HeapObject], value: Any = None):
         self.channel = channel
@@ -143,6 +182,7 @@ class RecvCase:
     """A ``case x := <-ch`` arm of a select statement."""
 
     __slots__ = ("channel",)
+    MNEMONIC = "recv-case"
 
     def __init__(self, channel: Optional[HeapObject]):
         self.channel = channel
@@ -157,6 +197,7 @@ class Select(Instruction):
     """
 
     __slots__ = ("cases", "default")
+    MNEMONIC = "select"
 
     def __init__(self, cases: Sequence[Any], default: bool = False):
         self.cases = tuple(cases)
@@ -184,6 +225,7 @@ class NewMutex(Instruction):
     """Allocate a ``sync.Mutex``."""
 
     __slots__ = ("label",)
+    MNEMONIC = "new-mutex"
 
     def __init__(self, label: str = ""):
         self.label = label
@@ -193,6 +235,7 @@ class NewRWMutex(Instruction):
     """Allocate a ``sync.RWMutex``."""
 
     __slots__ = ("label",)
+    MNEMONIC = "new-rwmutex"
 
     def __init__(self, label: str = ""):
         self.label = label
@@ -202,6 +245,7 @@ class NewWaitGroup(Instruction):
     """Allocate a ``sync.WaitGroup``."""
 
     __slots__ = ("label",)
+    MNEMONIC = "new-waitgroup"
 
     def __init__(self, label: str = ""):
         self.label = label
@@ -211,6 +255,7 @@ class NewCond(Instruction):
     """Allocate a ``sync.Cond`` bound to ``locker`` (a Mutex)."""
 
     __slots__ = ("locker",)
+    MNEMONIC = "new-cond"
 
     def __init__(self, locker: HeapObject):
         self.locker = locker
@@ -223,10 +268,12 @@ class NewOnce(Instruction):
     """Allocate a ``sync.Once``."""
 
     __slots__ = ()
+    MNEMONIC = "new-once"
 
 
 class _OneOperand(Instruction):
     __slots__ = ("target",)
+    MNEMONIC = "one-operand"  # abstract; concrete subclasses override
 
     def __init__(self, target: HeapObject):
         self.target = target
@@ -237,24 +284,29 @@ class _OneOperand(Instruction):
 
 class Lock(_OneOperand):
     """``m.Lock()`` — blocks while the mutex is held."""
+    MNEMONIC = "lock"
 
 
 class Unlock(_OneOperand):
     """``m.Unlock()`` — panics if the mutex is not held."""
+    MNEMONIC = "unlock"
 
 
 class RLock(_OneOperand):
     """``m.RLock()`` on a RWMutex."""
+    MNEMONIC = "rlock"
 
 
 class RUnlock(_OneOperand):
     """``m.RUnlock()`` on a RWMutex."""
+    MNEMONIC = "runlock"
 
 
 class WgAdd(Instruction):
     """``wg.Add(delta)``; panics if the counter goes negative."""
 
     __slots__ = ("waitgroup", "delta")
+    MNEMONIC = "wg-add"
 
     def __init__(self, waitgroup: HeapObject, delta: int = 1):
         self.waitgroup = waitgroup
@@ -266,29 +318,35 @@ class WgAdd(Instruction):
 
 class WgDone(_OneOperand):
     """``wg.Done()``."""
+    MNEMONIC = "wg-done"
 
 
 class WgWait(_OneOperand):
     """``wg.Wait()`` — blocks until the counter reaches zero."""
+    MNEMONIC = "wg-wait"
 
 
 class CondWait(_OneOperand):
     """``c.Wait()`` — atomically releases the locker and blocks; on wake,
     reacquires the locker before resuming."""
+    MNEMONIC = "cond-wait"
 
 
 class CondSignal(_OneOperand):
     """``c.Signal()`` — wakes one waiter if any."""
+    MNEMONIC = "cond-signal"
 
 
 class CondBroadcast(_OneOperand):
     """``c.Broadcast()`` — wakes all waiters."""
+    MNEMONIC = "cond-broadcast"
 
 
 class OnceDo(Instruction):
     """``once.Do(fn)`` with a plain (non-blocking) Python callable."""
 
     __slots__ = ("once", "fn")
+    MNEMONIC = "once-do"
 
     def __init__(self, once: HeapObject, fn: Callable[[], None]):
         self.once = once
@@ -300,16 +358,19 @@ class OnceDo(Instruction):
 
 class SemAcquire(_OneOperand):
     """Low-level semaphore acquire (blocks while the count is zero)."""
+    MNEMONIC = "sem-acquire"
 
 
 class SemRelease(_OneOperand):
     """Low-level semaphore release (wakes one waiter, if any)."""
+    MNEMONIC = "sem-release"
 
 
 class NewSema(Instruction):
     """Allocate a low-level semaphore with the given initial count."""
 
     __slots__ = ("count",)
+    MNEMONIC = "new-sema"
 
     def __init__(self, count: int = 0):
         self.count = count
@@ -329,6 +390,7 @@ class Go(Instruction):
     """
 
     __slots__ = ("fn", "args", "name")
+    MNEMONIC = "go"
 
     def __init__(self, fn: Callable[..., Any], *args: Any, name: str = ""):
         self.fn = fn
@@ -344,6 +406,7 @@ class Sleep(Instruction):
     which GOLF treats as always live)."""
 
     __slots__ = ("ns",)
+    MNEMONIC = "sleep"
 
     def __init__(self, ns: int):
         if ns < 0:
@@ -362,6 +425,7 @@ class IoWait(Instruction):
     """
 
     __slots__ = ("ns",)
+    MNEMONIC = "io-wait"
 
     def __init__(self, ns: int):
         if ns < 0:
@@ -373,6 +437,7 @@ class Gosched(Instruction):
     """``runtime.Gosched()`` — yield the processor, stay runnable."""
 
     __slots__ = ()
+    MNEMONIC = "gosched"
 
 
 class Work(Instruction):
@@ -384,6 +449,7 @@ class Work(Instruction):
     """
 
     __slots__ = ("units",)
+    MNEMONIC = "work"
 
     def __init__(self, units: int = 1):
         if units <= 0:
@@ -395,6 +461,7 @@ class Alloc(Instruction):
     """Allocate a user heap object (Box, Struct, Slice, GoMap, Blob...)."""
 
     __slots__ = ("obj",)
+    MNEMONIC = "alloc"
 
     def __init__(self, obj: HeapObject):
         self.obj = obj
@@ -407,6 +474,7 @@ class SetFinalizer(Instruction):
     """``runtime.SetFinalizer(obj, fn)``."""
 
     __slots__ = ("obj", "fn")
+    MNEMONIC = "set-finalizer"
 
     def __init__(self, obj: HeapObject, fn: Callable[[HeapObject], None]):
         self.obj = obj
@@ -420,18 +488,21 @@ class RunGC(Instruction):
     """``runtime.GC()`` — force a full collection cycle now."""
 
     __slots__ = ()
+    MNEMONIC = "run-gc"
 
 
 class Now(Instruction):
     """Read the virtual clock (nanoseconds)."""
 
     __slots__ = ()
+    MNEMONIC = "now"
 
 
 class SetGlobal(Instruction):
     """Register a value in global data (package-level variable)."""
 
     __slots__ = ("name", "value")
+    MNEMONIC = "set-global"
 
     def __init__(self, name: str, value: Any):
         self.name = name
@@ -445,6 +516,7 @@ class GetGlobal(Instruction):
     """Read a value from global data."""
 
     __slots__ = ("name",)
+    MNEMONIC = "get-global"
 
     def __init__(self, name: str):
         self.name = name
@@ -462,6 +534,7 @@ class Panic(Instruction):
     """
 
     __slots__ = ("message",)
+    MNEMONIC = "panic"
 
     def __init__(self, message: str):
         self.message = message
@@ -483,6 +556,7 @@ class Recover(Instruction):
     """
 
     __slots__ = ()
+    MNEMONIC = "recover"
 
 
 class Defer(Instruction):
@@ -497,8 +571,38 @@ class Defer(Instruction):
     """
 
     __slots__ = ("fn",)
+    MNEMONIC = "defer"
 
     def __init__(self, fn: Callable[[], None]):
         if not callable(fn):
             raise TypeError(f"Defer needs a callable, got {fn!r}")
         self.fn = fn
+
+
+# ---------------------------------------------------------------------------
+# Introspection for tools (static analyzer, trace renderers)
+# ---------------------------------------------------------------------------
+
+
+def instruction_classes() -> Dict[str, Type[Instruction]]:
+    """Concrete instruction classes by Python class name.
+
+    Tools that meet instructions as *names* (the static analyzer walks
+    source ASTs where a yield's callee is just an identifier) use this to
+    translate into stable mnemonics instead of string-matching class
+    names.
+    """
+    out: Dict[str, Type[Instruction]] = {}
+    for name, obj in globals().items():
+        if (isinstance(obj, type) and issubclass(obj, Instruction)
+                and obj is not Instruction and not name.startswith("_")):
+            out[name] = obj
+    out["SendCase"] = SendCase  # select arms travel with the instruction set
+    out["RecvCase"] = RecvCase
+    return out
+
+
+def mnemonic_for(class_name: str) -> Optional[str]:
+    """The stable mnemonic for an instruction class name, or ``None``."""
+    cls = instruction_classes().get(class_name)
+    return cls.MNEMONIC if cls is not None else None

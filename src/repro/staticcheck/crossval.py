@@ -1,0 +1,192 @@
+"""Cross-validate `repro vet` against GOLF's dynamic ground truth.
+
+The microbench registry is the paper's labeled corpus: every benchmark
+body is known-leaky (GOLF reclaims its annotated sites), and 32 of
+them carry a `fixed` variant that is known-clean.  Running the static
+analyzer over both populations yields the static analog of Table 2:
+
+- TP — leaky benchmark flagged (verdict ``leaky`` or ``suspect``);
+- FN — leaky benchmark missed, enumerated by pattern name with the
+  analyzer's verdict (``unknown`` = soundly gave up, ``clean`` =
+  genuine miss);
+- FP — fixed variant flagged, enumerated with the offending rules;
+- TN — fixed variant not flagged.
+
+The report is byte-deterministic: benchmarks iterate in sorted
+registry order and the JSON encoder sorts keys.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.staticcheck.model import LEAKY, SUSPECT, FunctionReport
+from repro.staticcheck.report import analyze_callable
+
+_FLAGGED = (LEAKY, SUSPECT)
+
+
+class BenchRow:
+    __slots__ = ("name", "source", "population", "truth_leaky", "sites",
+                 "flaky", "verdict", "rules", "outcome", "detail")
+
+    def __init__(self, name: str, source: str, population: str,
+                 truth_leaky: bool, sites: List[str], flaky: bool,
+                 report: FunctionReport):
+        self.name = name
+        self.source = source
+        self.population = population        # "leaky" | "fixed"
+        self.truth_leaky = truth_leaky
+        self.sites = list(sites)
+        self.flaky = flaky
+        self.verdict = report.verdict
+        self.rules = report.rules_hit()
+        flagged = report.verdict in _FLAGGED
+        if truth_leaky:
+            self.outcome = "TP" if flagged else "FN"
+        else:
+            self.outcome = "FP" if flagged else "TN"
+        if self.outcome == "FN":
+            self.detail = (
+                "analysis soundly gave up (unknown verdict)"
+                if report.verdict == "unknown"
+                else "analysis found nothing")
+        elif self.outcome == "FP":
+            self.detail = "rules fired on a fixed variant: " + \
+                ", ".join(self.rules)
+        else:
+            self.detail = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "population": self.population,
+            "truth_leaky": self.truth_leaky,
+            "dynamic_sites": self.sites,
+            "flaky": self.flaky,
+            "static_verdict": self.verdict,
+            "static_rules": self.rules,
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+
+class CrossvalResult:
+    def __init__(self, rows: List[BenchRow]):
+        self.rows = rows
+
+    def _count(self, outcome: str) -> int:
+        return sum(1 for row in self.rows if row.outcome == outcome)
+
+    @property
+    def tp(self) -> int:
+        return self._count("TP")
+
+    @property
+    def fn(self) -> int:
+        return self._count("FN")
+
+    @property
+    def fp(self) -> int:
+        return self._count("FP")
+
+    @property
+    def tn(self) -> int:
+        return self._count("TN")
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 1.0
+
+    def false_negatives(self) -> List[BenchRow]:
+        return [row for row in self.rows if row.outcome == "FN"]
+
+    def false_positives(self) -> List[BenchRow]:
+        return [row for row in self.rows if row.outcome == "FP"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-vet-crossval/1",
+            "summary": {
+                "tp": self.tp, "fn": self.fn, "fp": self.fp, "tn": self.tn,
+                "leaky_population": self.tp + self.fn,
+                "fixed_population": self.fp + self.tn,
+                "recall": round(self.recall, 4),
+                "precision": round(self.precision, 4),
+            },
+            # No silent misses: every FP/FN is enumerated by name.
+            "false_negatives": [
+                {"name": row.name, "verdict": row.verdict,
+                 "detail": row.detail}
+                for row in self.false_negatives()
+            ],
+            "false_positives": [
+                {"name": row.name, "rules": row.rules,
+                 "detail": row.detail}
+                for row in self.false_positives()
+            ],
+            "benchmarks": [row.to_dict() for row in self.rows],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def format_text(self) -> str:
+        lines = [
+            "static-vs-dynamic cross-validation "
+            "(ground truth: GOLF microbench registry)",
+            "",
+            f"  {'population':<14s} {'n':>4s} {'flagged':>8s} "
+            f"{'missed':>7s}",
+            f"  {'leaky':<14s} {self.tp + self.fn:>4d} {self.tp:>8d} "
+            f"{self.fn:>7d}",
+            f"  {'fixed (clean)':<14s} {self.fp + self.tn:>4d} "
+            f"{self.fp:>8d} {self.tn:>7d}",
+            "",
+            f"  recall    {self.recall:.4f}",
+            f"  precision {self.precision:.4f}",
+        ]
+        if self.false_negatives():
+            lines.append("")
+            lines.append("  false negatives (leaky, not flagged):")
+            for row in self.false_negatives():
+                lines.append(f"    {row.name:<40s} verdict="
+                             f"{row.verdict:<8s} {row.detail}")
+        if self.false_positives():
+            lines.append("")
+            lines.append("  false positives (fixed, flagged):")
+            for row in self.false_positives():
+                lines.append(f"    {row.name:<40s} "
+                             f"rules={','.join(row.rules)}")
+        return "\n".join(lines) + "\n"
+
+
+def run_crossval(include_fixed: bool = True,
+                 truth: Optional[List[Dict[str, Any]]] = None
+                 ) -> CrossvalResult:
+    """Analyze the labeled corpus statically and join with dynamic truth.
+
+    ``truth`` defaults to :func:`repro.microbench.registry.ground_truth`
+    — one row per program in registry-sorted order, so the report is
+    reproducible byte for byte.
+    """
+    if truth is None:
+        from repro.microbench.registry import ground_truth
+        truth = ground_truth()
+    rows: List[BenchRow] = []
+    for entry in truth:
+        if not include_fixed and entry["population"] == "fixed":
+            continue
+        report = analyze_callable(entry["body"], name=entry["name"])
+        rows.append(BenchRow(
+            entry["name"], entry["source"], entry["population"],
+            entry["leaky"], entry["sites"], entry["flaky"], report))
+    return CrossvalResult(rows)

@@ -1,0 +1,1555 @@
+"""AST abstract interpreter: goroutine bodies -> concurrency ops.
+
+The extractor symbolically executes goroutine-body *generator functions*
+(`def body(): ... yield Send(ch, v) ...`) without running the program:
+
+- every ``yield``ed concurrency instruction is lowered to an
+  :class:`~repro.staticcheck.model.Op` keyed by the instruction's stable
+  ``MNEMONIC``;
+- ``yield from helper(...)`` delegation is followed inline (same
+  goroutine body), with recursion/depth guards;
+- ``yield Go(fn, *args)`` spawns a child :class:`BodyCtx` and the
+  spawned function is interpreted with the actual argument values, so
+  channels flow through spawn sites (provenance: make -> go -> op);
+- channel/mutex/waitgroup values are tracked through tuples, lists,
+  dict/struct fields with constant keys, closure cells, defaults, and
+  module globals;
+- loops and branches are abstracted by multiplicity (``1``, ``n``,
+  :data:`~repro.staticcheck.model.MANY`) and a conditional depth;
+- anything the analysis cannot resolve soundly (a yield of an
+  unresolved value, a channel picked by a dynamic subscript, an
+  unresolvable delegation target) is recorded as a :class:`GiveUp`
+  instead of being silently skipped.
+
+Two front ends: :func:`extract_callable` (a live function object —
+closure cells and ``__defaults__`` are folded as constants, which is
+what distinguishes e.g. the leaky and fixed ``range_no_close``
+variants) and :func:`extract_file` (a source file; top-level *root*
+generator functions are analyzed, where a root is a generator not
+referenced by any other candidate in the same file).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import os
+import textwrap
+import types
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.instructions import instruction_classes
+from repro.staticcheck.model import (
+    MANY,
+    BodyCtx,
+    BoxVal,
+    CaseVal,
+    ChanVal,
+    CondVal,
+    ConstVal,
+    Extraction,
+    FuncVal,
+    GiveUp,
+    GoroutineVal,
+    InstrVal,
+    ListVal,
+    MapVal,
+    Mult,
+    MutexVal,
+    ObjVal,
+    OnceVal,
+    Op,
+    RangeVal,
+    SemaVal,
+    Site,
+    TupleVal,
+    UnknownVal,
+    Val,
+    WgVal,
+)
+
+_INSTRUCTION_CLASSES = instruction_classes()
+_MNEMONIC_BY_NAME = {
+    name: getattr(cls, "MNEMONIC", None)
+    for name, cls in _INSTRUCTION_CLASSES.items()
+}
+_HEAP_CTORS = ("Struct", "GoMap", "Slice", "Box", "Blob")
+
+_MAX_DELEGATION_DEPTH = 24
+_MAX_BODIES = 200
+_MAX_LIST_UNROLL = 8
+
+_MISSING = object()
+
+
+class ClassVal(Val):
+    """An instruction class / select-case class / heap constructor."""
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: str):
+        self.name = name      # "Send", "RecvCase", "Struct", ...
+        self.kind = kind      # "instr" | "case" | "heap"
+
+    def __repr__(self) -> str:
+        return f"<class {self.name}>"
+
+
+class ModuleVal(Val):
+    __slots__ = ("module",)
+
+    def __init__(self, module: types.ModuleType):
+        self.module = module
+
+
+def _relpath(path: str) -> str:
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive on win32
+        return path
+    return path if rel.startswith("..") else rel
+
+
+# ---------------------------------------------------------------------------
+# Environments
+# ---------------------------------------------------------------------------
+
+
+class Env:
+    """Lexically-chained scope.  The root may carry a ``resolver``
+    callable mapping a name to a Val (module globals, closure cells)."""
+
+    __slots__ = ("vars", "parent", "resolver")
+
+    def __init__(self, parent: Optional["Env"] = None,
+                 resolver: Optional[Callable[[str], Optional[Val]]] = None):
+        self.vars: Dict[str, Val] = {}
+        self.parent = parent
+        self.resolver = resolver
+
+    def lookup(self, name: str) -> Val:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            if env.resolver is not None:
+                found = env.resolver(name)
+                if found is not None:
+                    env.vars[name] = found
+                    return found
+            env = env.parent
+        return UnknownVal(f"unresolved-name:{name}")
+
+    def bind(self, name: str, val: Val) -> None:
+        self.vars[name] = val
+
+
+def python_to_val(obj: Any, loader: "_FunctionLoader") -> Val:
+    """Convert a live Python object (global / closure cell / default)
+    into an abstract value."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return ConstVal(obj)
+    if isinstance(obj, type):
+        mn = _MNEMONIC_BY_NAME.get(obj.__name__)
+        cls = _INSTRUCTION_CLASSES.get(obj.__name__)
+        if cls is obj:
+            if obj.__name__ in ("SendCase", "RecvCase"):
+                return ClassVal(obj.__name__, "case")
+            if mn is not None:
+                return ClassVal(obj.__name__, "instr")
+        if obj.__name__ in _HEAP_CTORS:
+            return ClassVal(obj.__name__, "heap")
+        return UnknownVal(f"class:{obj.__name__}")
+    if isinstance(obj, types.FunctionType):
+        fv = loader.load(obj)
+        return fv if fv is not None else UnknownVal("unloadable-function")
+    if isinstance(obj, types.ModuleType):
+        return ModuleVal(obj)
+    if isinstance(obj, (list, tuple)):
+        elems = [python_to_val(item, loader) for item in obj]
+        if all(isinstance(e, (ConstVal, ClassVal, FuncVal)) for e in elems):
+            if isinstance(obj, tuple):
+                return TupleVal(elems)
+            return ListVal(elems, exact=True)
+        return UnknownVal("mixed-sequence")
+    if isinstance(obj, dict):
+        entries = {}
+        for key, item in obj.items():
+            if not isinstance(key, (str, int)):
+                return UnknownVal("non-const-dict")
+            entries[key] = python_to_val(item, loader)
+        return MapVal(entries, exact=True)
+    return UnknownVal(f"object:{type(obj).__name__}")
+
+
+class _FunctionLoader:
+    """Loads live function objects into FuncVals (source + env), with a
+    cache keyed by code object."""
+
+    def __init__(self):
+        self._cache: Dict[Any, Optional[FuncVal]] = {}
+
+    def load(self, fn: types.FunctionType) -> Optional[FuncVal]:
+        key = fn.__code__
+        if key in self._cache:
+            return self._cache[key]
+        self._cache[key] = None  # recursion guard while loading
+        fv = self._load(fn)
+        self._cache[key] = fv
+        return fv
+
+    def _load(self, fn: types.FunctionType) -> Optional[FuncVal]:
+        try:
+            file = inspect.getsourcefile(fn) or "<unknown>"
+            lines, start = inspect.getsourcelines(fn)
+        except (OSError, TypeError):
+            return None
+        src = textwrap.dedent("".join(lines))
+        try:
+            tree = ast.parse(src)
+        except SyntaxError:
+            return None
+        node = next((n for n in tree.body
+                     if isinstance(n, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))), None)
+        if node is None:
+            return None
+        # Re-anchor every node at its real line in the real file.  This
+        # accounts for decorators and nesting in one step (getsourcelines
+        # returns the decorator-inclusive start line), so diagnostics
+        # never drift.
+        ast.increment_lineno(node, start - 1)
+
+        loader = self
+        fn_globals = fn.__globals__
+
+        def resolver(name: str) -> Optional[Val]:
+            if name in fn_globals:
+                return python_to_val(fn_globals[name], loader)
+            return None
+
+        env = Env(resolver=resolver)
+        # Closure cells become pre-bound constants: this is what lets the
+        # analyzer distinguish builder variants that share one AST but
+        # differ in captured flags (skip_wait, feed_head, length, ...).
+        if fn.__code__.co_freevars and fn.__closure__:
+            for name, cell in zip(fn.__code__.co_freevars, fn.__closure__):
+                try:
+                    value = cell.cell_contents
+                except ValueError:
+                    continue
+                env.bind(name, python_to_val(value, loader))
+
+        defaults: Dict[str, Val] = {}
+        if fn.__defaults__:
+            params = [a.arg for a in node.args.args]
+            for name, value in zip(params[-len(fn.__defaults__):],
+                                   fn.__defaults__):
+                defaults[name] = python_to_val(value, loader)
+        if fn.__kwdefaults__:
+            for name, value in fn.__kwdefaults__.items():
+                defaults[name] = python_to_val(value, loader)
+
+        return FuncVal(node, env, fn.__qualname__, _relpath(file),
+                       defaults=defaults,
+                       is_generator=_is_generator_node(node),
+                       code_key=fn.__code__)
+
+
+def _is_generator_node(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            owner = _owning_function(node, child)
+            if owner is node:
+                return True
+    return False
+
+
+def _owning_function(root: ast.AST, target: ast.AST) -> Optional[ast.AST]:
+    """The innermost FunctionDef containing *target* (linear scan)."""
+    owner = None
+
+    def visit(node, current):
+        nonlocal owner
+        if node is target:
+            owner = current
+            return True
+        nxt = node if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ) else current
+        for child in ast.iter_child_nodes(node):
+            if visit(child, nxt):
+                return True
+        return False
+
+    visit(root, root)
+    return owner
+
+
+def _contains_direct_yield(node: ast.AST) -> bool:
+    """True when *node* (a FunctionDef) has a yield in its own frame."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+    return False
+
+
+def _loop_has_break(body: Sequence[ast.stmt]) -> bool:
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Break):
+            return True
+        if isinstance(node, (ast.While, ast.For, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Interpreter state
+# ---------------------------------------------------------------------------
+
+
+class _State:
+    __slots__ = ("body", "env", "file", "cond_depth", "mult", "held",
+                 "active", "depth")
+
+    def __init__(self, body: BodyCtx, env: Env, file: str,
+                 cond_depth: int = 0, mult: Mult = 1,
+                 held: Optional[List[Tuple[int, str]]] = None,
+                 active: Tuple[Any, ...] = (), depth: int = 0):
+        self.body = body
+        self.env = env
+        self.file = file
+        self.cond_depth = cond_depth
+        self.mult = mult
+        self.held = held if held is not None else []
+        self.active = active      # delegation chain (cycle guard)
+        self.depth = depth
+
+    def child(self, **over) -> "_State":
+        kw = {
+            "body": self.body, "env": self.env, "file": self.file,
+            "cond_depth": self.cond_depth, "mult": self.mult,
+            "held": self.held, "active": self.active, "depth": self.depth,
+        }
+        kw.update(over)
+        return _State(**kw)
+
+
+# Block execution statuses.
+_FALL, _RETURN, _BREAK, _CONTINUE, _RAISE = (
+    "fall", "return", "break", "continue", "raise")
+_TERMINATORS = (_RETURN, _RAISE)
+
+
+class Extractor:
+    """Symbolic executor for one entry function."""
+
+    def __init__(self, entry_name: str, file: str, line: int):
+        self.ex = Extraction(entry_name, file, line)
+        self._uid = 0
+        self._seq = 0
+        self.loader = _FunctionLoader()
+
+    # -- id helpers -----------------------------------------------------
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _site(self, st: _State, node: ast.AST) -> Site:
+        return Site(st.file, getattr(node, "lineno", 0))
+
+    def give_up(self, st: _State, node: ast.AST, reason: str,
+                detail: str = "") -> UnknownVal:
+        self.ex.giveups.append(GiveUp(self._site(st, node), reason, detail))
+        return UnknownVal(reason)
+
+    def _record(self, st: _State, node: ast.AST, mnemonic: str,
+                operand: Optional[Val] = None, value: Optional[Val] = None,
+                via_select: bool = False, select_alternatives: bool = False,
+                extra: Optional[Dict[str, Any]] = None,
+                site: Optional[Site] = None) -> Op:
+        op = Op(mnemonic, site or self._site(st, node), st.body,
+                self._next_seq(), st.cond_depth, st.mult,
+                operand=operand, value=value, via_select=via_select,
+                select_alternatives=select_alternatives, extra=extra,
+                held=tuple(st.held))
+        self.ex.ops.append(op)
+        return op
+
+    # -- entry points ---------------------------------------------------
+
+    def run_entry(self, fv: FuncVal, args: Optional[List[Val]] = None
+                  ) -> Extraction:
+        body = BodyCtx(0, fv.qualname)
+        self.ex.bodies.append(body)
+        st = _State(body, Env(parent=fv.env), fv.file)
+        self._bind_params(st, fv, args or [])
+        _, ret = self._exec_block(st, fv.node.body)
+        self.ex.returned = ret
+        self._mark_escapes(ret, "returned")
+        return self.ex
+
+    def _bind_params(self, st: _State, fv: FuncVal,
+                     args: List[Val]) -> None:
+        params = [a.arg for a in fv.node.args.args]
+        for i, name in enumerate(params):
+            if i < len(args):
+                st.env.bind(name, args[i])
+            elif name in fv.defaults:
+                st.env.bind(name, fv.defaults[name])
+            else:
+                st.env.bind(name, UnknownVal(f"param:{name}"))
+        vararg = fv.node.args.vararg
+        if vararg is not None:
+            st.env.bind(vararg.arg,
+                        TupleVal(args[len(params):]) if len(args) > len(params)
+                        else TupleVal([]))
+        for kwonly in fv.node.args.kwonlyargs:
+            name = kwonly.arg
+            if name not in st.env.vars:
+                st.env.bind(name, fv.defaults.get(
+                    name, UnknownVal(f"param:{name}")))
+
+    def _mark_escapes(self, val: Optional[Val], reason: str,
+                      depth: int = 0) -> None:
+        if val is None or depth > 3:
+            return
+        if isinstance(val, ChanVal):
+            if reason not in val.escapes:
+                val.escapes.append(reason)
+        elif isinstance(val, (TupleVal, ListVal)):
+            for elem in val.elems:
+                self._mark_escapes(elem, reason, depth + 1)
+        elif isinstance(val, MapVal):
+            for elem in val.entries.values():
+                self._mark_escapes(elem, reason, depth + 1)
+        elif isinstance(val, BoxVal):
+            self._mark_escapes(val.value, reason, depth + 1)
+
+    # -- statements -----------------------------------------------------
+
+    def _exec_block(self, st: _State, stmts: Sequence[ast.stmt]
+                    ) -> Tuple[str, Optional[Val]]:
+        """Returns (status, return-value)."""
+        i = 0
+        while i < len(stmts):
+            stmt = stmts[i]
+            status, ret = self._exec_stmt(st, stmt)
+            if status == "guard-rest":
+                # One branch of an `if` terminated: the remainder of this
+                # block only runs when the other branch was taken.
+                rest = st.child(cond_depth=st.cond_depth + 1)
+                status2, ret2 = self._exec_block(rest, stmts[i + 1:])
+                return status2 if status2 != _FALL else _FALL, ret2
+            if status != _FALL:
+                return status, ret
+            i += 1
+        return _FALL, None
+
+    def _exec_stmt(self, st: _State, stmt: ast.stmt
+                   ) -> Tuple[str, Optional[Val]]:
+        if isinstance(stmt, ast.Expr):
+            self.eval(st, stmt.value)
+            return _FALL, None
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(st, stmt.value)
+            for target in stmt.targets:
+                self._assign(st, target, value)
+            return _FALL, None
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(st, stmt.target, self.eval(st, stmt.value))
+            return _FALL, None
+        if isinstance(stmt, ast.AugAssign):
+            self.eval(st, stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                st.env.bind(stmt.target.id, UnknownVal("augmented"))
+            elif isinstance(stmt.target, ast.Subscript):
+                self.eval(st, stmt.target.value)
+            return _FALL, None
+        if isinstance(stmt, ast.Return):
+            value = self.eval(st, stmt.value) if stmt.value else ConstVal(None)
+            return _RETURN, value
+        if isinstance(stmt, ast.If):
+            return self._exec_if(st, stmt)
+        if isinstance(stmt, ast.While):
+            return self._exec_while(st, stmt)
+        if isinstance(stmt, ast.For):
+            return self._exec_for(st, stmt)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(st, stmt)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(st, item.context_expr)
+            return self._exec_block(st, stmt.body)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = self._eval_defaults(st, stmt)
+            st.env.bind(stmt.name, FuncVal(
+                stmt, st.env, stmt.name, st.file, defaults=defaults,
+                is_generator=_contains_direct_yield(stmt),
+                code_key=stmt))
+            return _FALL, None
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(st, stmt.exc)
+            return _RAISE, None
+        if isinstance(stmt, ast.Break):
+            return _BREAK, None
+        if isinstance(stmt, ast.Continue):
+            return _CONTINUE, None
+        if isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal,
+                             ast.Import, ast.ImportFrom, ast.Assert,
+                             ast.Delete, ast.ClassDef)):
+            return _FALL, None
+        # Unknown statement kind: evaluate child expressions for effects.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.eval(st, child)
+        return _FALL, None
+
+    def _eval_defaults(self, st: _State,
+                       node: ast.FunctionDef) -> Dict[str, Val]:
+        """Default args are evaluated at def time — this captures the
+        `def watcher(ch=stream)` loop idiom."""
+        defaults: Dict[str, Val] = {}
+        params = [a.arg for a in node.args.args]
+        if node.args.defaults:
+            names = params[-len(node.args.defaults):]
+            for name, expr in zip(names, node.args.defaults):
+                defaults[name] = self.eval(st, expr)
+        for kwonly, expr in zip(node.args.kwonlyargs, node.args.kw_defaults):
+            if expr is not None:
+                defaults[kwonly.arg] = self.eval(st, expr)
+        return defaults
+
+    def _assign(self, st: _State, target: ast.expr, value: Val) -> None:
+        if isinstance(target, ast.Name):
+            st.env.bind(target.id, value)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elems: List[Val]
+            if isinstance(value, (TupleVal, ListVal)) and \
+                    len(value.elems) == len(target.elts):
+                elems = value.elems
+            else:
+                elems = [UnknownVal("unpack")] * len(target.elts)
+            for sub, elem in zip(target.elts, elems):
+                if isinstance(sub, ast.Starred):
+                    self._assign(st, sub.value, ListVal(exact=False))
+                else:
+                    self._assign(st, sub, elem)
+            return
+        if isinstance(target, ast.Subscript):
+            container = self.eval(st, target.value)
+            key = self.eval(st, target.slice)
+            if isinstance(container, MapVal) and isinstance(key, ConstVal):
+                container.entries[key.value] = value
+            elif isinstance(container, ListVal) and \
+                    isinstance(key, ConstVal) and \
+                    isinstance(key.value, int) and \
+                    0 <= key.value < len(container.elems):
+                container.elems[key.value] = value
+            elif isinstance(container, (ListVal, MapVal)):
+                container.exact = False
+            return
+        if isinstance(target, ast.Attribute):
+            self.eval(st, target.value)
+            self._mark_escapes(value, "stored-attr")
+            return
+
+    # -- control flow ---------------------------------------------------
+
+    def _exec_if(self, st: _State, stmt: ast.If
+                 ) -> Tuple[str, Optional[Val]]:
+        cond = self.eval(st, stmt.test)
+        if isinstance(cond, ConstVal):
+            branch = stmt.body if cond.value else stmt.orelse
+            if branch:
+                return self._exec_block(st, branch)
+            return _FALL, None
+
+        base_vars = dict(st.env.vars)
+        sub = st.child(cond_depth=st.cond_depth + 1)
+
+        st.env.vars = dict(base_vars)
+        status_a, ret_a = self._exec_block(sub, stmt.body)
+        vars_a = st.env.vars
+
+        st.env.vars = dict(base_vars)
+        status_b, ret_b = (self._exec_block(sub, stmt.orelse)
+                           if stmt.orelse else (_FALL, None))
+        vars_b = st.env.vars
+
+        st.env.vars = self._merge_vars(base_vars, vars_a, vars_b)
+
+        a_ends = status_a in _TERMINATORS or status_a == _BREAK
+        b_ends = status_b in _TERMINATORS or status_b == _BREAK
+        if status_a in _TERMINATORS and status_b in _TERMINATORS:
+            return _RETURN, ret_a or ret_b
+        if a_ends != b_ends:
+            # `if flag: return` — everything after runs conditionally.
+            return "guard-rest", None
+        return _FALL, None
+
+    @staticmethod
+    def _merge_vars(base: Dict[str, Val], a: Dict[str, Val],
+                    b: Dict[str, Val]) -> Dict[str, Val]:
+        merged = dict(base)
+        for name in set(a) | set(b):
+            va = a.get(name, _MISSING)
+            vb = b.get(name, _MISSING)
+            if va is vb:
+                merged[name] = va  # type: ignore[assignment]
+            elif va is _MISSING:
+                merged[name] = vb  # type: ignore[assignment]
+            elif vb is _MISSING:
+                merged[name] = va  # type: ignore[assignment]
+            elif (isinstance(va, ChanVal) and isinstance(vb, ChanVal)
+                    and va.uid == vb.uid):
+                merged[name] = va
+            else:
+                merged[name] = UnknownVal("branch-divergent")
+        return merged
+
+    def _exec_while(self, st: _State, stmt: ast.While
+                    ) -> Tuple[str, Optional[Val]]:
+        cond = self.eval(st, stmt.test)
+        infinite = isinstance(cond, ConstVal) and bool(cond.value)
+        if isinstance(cond, ConstVal) and not cond.value:
+            return _FALL, None
+        sub = st.child(
+            mult=MANY,
+            cond_depth=st.cond_depth + (0 if infinite else 1))
+        status, ret = self._exec_block(sub, stmt.body)
+        if status in _TERMINATORS:
+            return status, ret
+        if infinite and not _loop_has_break(stmt.body):
+            # `while True` with no break: nothing after the loop runs.
+            return _RETURN, None
+        return _FALL, None
+
+    def _exec_for(self, st: _State, stmt: ast.For
+                  ) -> Tuple[str, Optional[Val]]:
+        iterable = self.eval(st, stmt.iter)
+        items: Optional[List[Val]] = None
+        count: Optional[Mult] = None
+
+        if isinstance(iterable, RangeVal):
+            count = iterable.count if iterable.count is not None else MANY
+        elif isinstance(iterable, (ListVal, TupleVal)):
+            exact = getattr(iterable, "exact", True)
+            if exact and len(iterable.elems) <= _MAX_LIST_UNROLL:
+                items = list(iterable.elems)
+                count = len(items)
+            else:
+                count = len(iterable.elems) if exact else MANY
+        elif isinstance(iterable, ConstVal) and \
+                isinstance(iterable.value, (list, tuple, str, range)):
+            count = len(iterable.value)
+        else:
+            count = MANY
+
+        if count == 0 and items is None:
+            return _FALL, None
+        if items == []:
+            return _FALL, None
+
+        known_nonempty = (items is not None and len(items) > 0) or (
+            isinstance(count, int) and count > 0)
+
+        if items is not None and any(
+                not isinstance(e, ConstVal) for e in items):
+            # Bounded unroll: each element gets its own iteration so
+            # distinct channels in a literal list each see their ops.
+            for elem in items:
+                sub = st.child()
+                self._assign(sub, stmt.target, elem)
+                status, ret = self._exec_block(sub, stmt.body)
+                if status in _TERMINATORS:
+                    return status, ret
+                if status == _BREAK:
+                    break
+            if stmt.orelse:
+                return self._exec_block(st, stmt.orelse)
+            return _FALL, None
+
+        mult = count if count is not None else MANY
+        new_mult = st.mult * mult if mult != MANY else MANY
+        sub = st.child(
+            mult=new_mult,
+            cond_depth=st.cond_depth + (0 if known_nonempty else 1))
+        if items:
+            self._assign(sub, stmt.target, items[0])
+        else:
+            self._assign(sub, stmt.target, UnknownVal("loop-var"))
+        status, ret = self._exec_block(sub, stmt.body)
+        if status in _TERMINATORS:
+            return status, ret
+        if stmt.orelse:
+            return self._exec_block(st, stmt.orelse)
+        return _FALL, None
+
+    def _exec_try(self, st: _State, stmt: ast.Try
+                  ) -> Tuple[str, Optional[Val]]:
+        status, ret = self._exec_block(st, stmt.body)
+        handler_st = st.child(cond_depth=st.cond_depth + 1)
+        for handler in stmt.handlers:
+            if handler.name:
+                handler_st.env.bind(handler.name, UnknownVal("exception"))
+            self._exec_block(handler_st, handler.body)
+        if status == _FALL and stmt.orelse:
+            status, ret = self._exec_block(st, stmt.orelse)
+        if stmt.finalbody:
+            # finally runs unconditionally — this is the deferred-send
+            # path in Listing 7's SendEmail.
+            fstatus, fret = self._exec_block(st, stmt.finalbody)
+            if fstatus != _FALL:
+                return fstatus, fret
+        if status == _RAISE and stmt.handlers:
+            return _FALL, None
+        return status, ret
+
+    # -- expressions ----------------------------------------------------
+
+    def eval(self, st: _State, node: Optional[ast.expr]) -> Val:
+        if node is None:
+            return ConstVal(None)
+        if isinstance(node, ast.Constant):
+            return ConstVal(node.value)
+        if isinstance(node, ast.Name):
+            return st.env.lookup(node.id)
+        if isinstance(node, ast.Yield):
+            return self._eval_yield(st, node)
+        if isinstance(node, ast.YieldFrom):
+            return self._eval_yield_from(st, node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(st, node)
+        if isinstance(node, ast.Tuple):
+            return TupleVal([self.eval(st, e) for e in node.elts])
+        if isinstance(node, ast.List):
+            return ListVal([self.eval(st, e) for e in node.elts], exact=True)
+        if isinstance(node, ast.Dict):
+            entries: Dict[Any, Val] = {}
+            exact = True
+            for key_node, val_node in zip(node.keys, node.values):
+                val = self.eval(st, val_node)
+                if key_node is None:
+                    exact = False
+                    continue
+                key = self.eval(st, key_node)
+                if isinstance(key, ConstVal) and \
+                        isinstance(key.value, (str, int)):
+                    entries[key.value] = val
+                else:
+                    exact = False
+            return MapVal(entries, exact=exact)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(st, node)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(st, node)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(st, node)
+        if isinstance(node, ast.BoolOp):
+            return self._eval_boolop(st, node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(st, node.operand)
+            if isinstance(operand, ConstVal):
+                try:
+                    if isinstance(node.op, ast.Not):
+                        return ConstVal(not operand.value)
+                    if isinstance(node.op, ast.USub):
+                        return ConstVal(-operand.value)
+                    if isinstance(node.op, ast.UAdd):
+                        return ConstVal(+operand.value)
+                except Exception:
+                    return UnknownVal("unary")
+            return UnknownVal("unary")
+        if isinstance(node, ast.BinOp):
+            left = self.eval(st, node.left)
+            right = self.eval(st, node.right)
+            if isinstance(left, ConstVal) and isinstance(right, ConstVal):
+                try:
+                    return ConstVal(_BINOPS[type(node.op)](
+                        left.value, right.value))
+                except Exception:
+                    return UnknownVal("binop")
+            return UnknownVal("binop")
+        if isinstance(node, ast.IfExp):
+            cond = self.eval(st, node.test)
+            if isinstance(cond, ConstVal):
+                return self.eval(st, node.body if cond.value else node.orelse)
+            a = self.eval(st, node.body)
+            b = self.eval(st, node.orelse)
+            return a if a is b else UnknownVal("ifexp")
+        if isinstance(node, ast.JoinedStr):
+            parts = []
+            for piece in node.values:
+                val = self.eval(st, piece.value) if isinstance(
+                    piece, ast.FormattedValue) else self.eval(st, piece)
+                if not isinstance(val, ConstVal):
+                    return UnknownVal("fstring")
+                parts.append(str(val.value))
+            return ConstVal("".join(parts))
+        if isinstance(node, ast.Starred):
+            return self.eval(st, node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            return UnknownVal("comprehension")
+        if isinstance(node, ast.Lambda):
+            return UnknownVal("lambda")
+        # Fallback: evaluate children for yield side effects.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(st, child)
+        return UnknownVal(type(node).__name__)
+
+    def _eval_compare(self, st: _State, node: ast.Compare) -> Val:
+        left = self.eval(st, node.left)
+        vals = [self.eval(st, c) for c in node.comparators]
+        if isinstance(left, ConstVal) and all(
+                isinstance(v, ConstVal) for v in vals):
+            try:
+                cur = left.value
+                for op, rhs in zip(node.ops, vals):
+                    if not _CMPOPS[type(op)](cur, rhs.value):  # type: ignore
+                        return ConstVal(False)
+                    cur = rhs.value  # type: ignore[union-attr]
+                return ConstVal(True)
+            except Exception:
+                return UnknownVal("compare")
+        return UnknownVal("compare")
+
+    def _eval_boolop(self, st: _State, node: ast.BoolOp) -> Val:
+        is_and = isinstance(node.op, ast.And)
+        last: Val = ConstVal(is_and)
+        for expr in node.values:
+            val = self.eval(st, expr)
+            if isinstance(val, ConstVal):
+                if is_and and not val.value:
+                    return val
+                if not is_and and val.value:
+                    return val
+                last = val
+            else:
+                last = UnknownVal("boolop")
+        return last
+
+    def _eval_subscript(self, st: _State, node: ast.Subscript) -> Val:
+        container = self.eval(st, node.value)
+        key = self.eval(st, node.slice)
+        if isinstance(container, MapVal):
+            if isinstance(key, ConstVal):
+                if key.value in container.entries:
+                    return container.entries[key.value]
+                return UnknownVal("missing-key")
+            if self._holds_sync(container):
+                self._mark_escapes(container, "dynamic-alias")
+                return self.give_up(st, node, "dynamic-channel-choice",
+                                    "map subscript with non-constant key")
+            return UnknownVal("subscript")
+        if isinstance(container, (ListVal, TupleVal)):
+            if isinstance(key, ConstVal) and isinstance(key.value, int):
+                if -len(container.elems) <= key.value < len(container.elems):
+                    return container.elems[key.value]
+                if container.elems and not getattr(container, "exact", True):
+                    # Summarized loop-built list: every element is the
+                    # same abstract value.
+                    return container.elems[0]
+                return UnknownVal("index-range")
+            if self._holds_sync(container):
+                # The designated soundly-give-up case: a channel chosen
+                # by a dynamic index cannot be tracked statically.  The
+                # container's channels become dynamically aliased, so
+                # definite-leak rules must stand down on them.
+                self._mark_escapes(container, "dynamic-alias")
+                return self.give_up(st, node, "dynamic-channel-choice",
+                                    "sequence subscript with non-constant "
+                                    "index over channels")
+            return UnknownVal("subscript")
+        return UnknownVal("subscript")
+
+    @staticmethod
+    def _holds_sync(container: Val) -> bool:
+        elems: List[Val] = []
+        if isinstance(container, (ListVal, TupleVal)):
+            elems = container.elems
+        elif isinstance(container, MapVal):
+            elems = list(container.entries.values())
+        return any(isinstance(e, (ChanVal, MutexVal, WgVal, CondVal,
+                                  SemaVal)) for e in elems)
+
+    def _eval_attribute(self, st: _State, node: ast.Attribute) -> Val:
+        base = self.eval(st, node.value)
+        if isinstance(base, ModuleVal):
+            if hasattr(base.module, node.attr):
+                return python_to_val(getattr(base.module, node.attr),
+                                     self.loader)
+            return UnknownVal(f"module-attr:{node.attr}")
+        if isinstance(base, BoxVal) and node.attr == "value":
+            return base.value
+        return UnknownVal(f"attr:{node.attr}")
+
+    # -- calls ----------------------------------------------------------
+
+    def _eval_call(self, st: _State, node: ast.Call) -> Val:
+        # Method calls on tracked containers (list.append and friends).
+        if isinstance(node.func, ast.Attribute):
+            base = self.eval(st, node.func.value)
+            args = [self.eval(st, a) for a in node.args]
+            if isinstance(base, ListVal):
+                if node.func.attr == "append" and len(args) == 1:
+                    base.elems.append(args[0])
+                    if st.mult != 1 or st.cond_depth > 0:
+                        base.exact = False
+                    return ConstVal(None)
+                if node.func.attr == "extend":
+                    base.exact = False
+                    for arg in args:
+                        if isinstance(arg, (ListVal, TupleVal)):
+                            base.elems.extend(arg.elems)
+                    return ConstVal(None)
+                if node.func.attr == "pop":
+                    base.exact = False
+                    return (base.elems[-1] if base.elems
+                            else UnknownVal("pop"))
+                return UnknownVal(f"list-method:{node.func.attr}")
+            if isinstance(base, MapVal):
+                if node.func.attr == "get" and args:
+                    key = args[0]
+                    if isinstance(key, ConstVal) and \
+                            key.value in base.entries:
+                        return base.entries[key.value]
+                    return UnknownVal("map-get")
+                if node.func.attr in ("keys", "values", "items"):
+                    return UnknownVal("map-view")
+                return UnknownVal(f"map-method:{node.func.attr}")
+            if isinstance(base, ModuleVal):
+                target = self._eval_attribute(st, node.func)
+                return self._call_val(st, node, target, args,
+                                      self._eval_kwargs(st, node))
+            return UnknownVal("method")
+
+        callee = self.eval(st, node.func)
+        args = [self.eval(st, a) for a in node.args]
+        kwargs = self._eval_kwargs(st, node)
+
+        if isinstance(node.func, ast.Name):
+            folded = self._eval_builtin(node.func.id, args)
+            if folded is not None:
+                return folded
+        return self._call_val(st, node, callee, args, kwargs)
+
+    def _eval_kwargs(self, st: _State, node: ast.Call) -> Dict[str, Val]:
+        kwargs: Dict[str, Val] = {}
+        for kw in node.keywords:
+            if kw.arg is not None:
+                kwargs[kw.arg] = self.eval(st, kw.value)
+            else:
+                self.eval(st, kw.value)
+        return kwargs
+
+    @staticmethod
+    def _eval_builtin(name: str, args: List[Val]) -> Optional[Val]:
+        consts = [a.value for a in args if isinstance(a, ConstVal)]
+        all_const = len(consts) == len(args)
+        if name == "range":
+            if all_const and args:
+                try:
+                    return RangeVal(len(range(*consts)))
+                except Exception:
+                    return RangeVal(None)
+            return RangeVal(None)
+        if name == "len" and len(args) == 1:
+            arg = args[0]
+            if isinstance(arg, (ListVal, TupleVal)) and \
+                    getattr(arg, "exact", True):
+                return ConstVal(len(arg.elems))
+            if isinstance(arg, ConstVal):
+                try:
+                    return ConstVal(len(arg.value))
+                except Exception:
+                    return UnknownVal("len")
+            return UnknownVal("len")
+        if name in ("min", "max", "abs", "int", "str", "bool", "float") \
+                and all_const and args:
+            try:
+                return ConstVal(getattr(builtins, name)(*consts))
+            except Exception:
+                return UnknownVal(name)
+        if name == "list" and len(args) == 1 and \
+                isinstance(args[0], (ListVal, TupleVal)):
+            src = args[0]
+            return ListVal(list(src.elems), exact=getattr(src, "exact", True))
+        if name == "enumerate" and len(args) == 1 and \
+                isinstance(args[0], (ListVal, TupleVal)):
+            src = args[0]
+            return ListVal(
+                [TupleVal([ConstVal(i), e]) for i, e in enumerate(src.elems)],
+                exact=getattr(src, "exact", True))
+        if name == "print":
+            return ConstVal(None)
+        return None
+
+    def _call_val(self, st: _State, node: ast.Call, callee: Val,
+                  args: List[Val], kwargs: Dict[str, Val]) -> Val:
+        site = self._site(st, node)
+        if isinstance(callee, ClassVal):
+            if callee.kind == "case":
+                kind = "send" if callee.name == "SendCase" else "recv"
+                chan = args[0] if args else kwargs.get(
+                    "channel", UnknownVal("case"))
+                return CaseVal(kind, chan, site)
+            if callee.kind == "heap":
+                if callee.name in ("Struct", "GoMap"):
+                    entries: Dict[Any, Val] = dict(kwargs)
+                    if args and isinstance(args[0], MapVal):
+                        entries.update(args[0].entries)
+                    return MapVal(entries, exact=True)
+                if callee.name == "Slice":
+                    if args and isinstance(args[0], (ListVal, TupleVal)):
+                        src = args[0]
+                        return ListVal(list(src.elems),
+                                       exact=getattr(src, "exact", True))
+                    return ListVal(exact=not args)
+                if callee.name == "Box":
+                    return BoxVal(args[0] if args else ConstVal(None))
+                return ObjVal(callee.name.lower())
+            mnemonic = _MNEMONIC_BY_NAME.get(callee.name) or "instruction"
+            return InstrVal(mnemonic, args, kwargs, site)
+        if isinstance(callee, FuncVal):
+            if callee.is_generator:
+                # Calling a generator function only builds the generator;
+                # execution happens at `yield from` / `Go`.
+                return UnknownVal("generator-object")
+            return self._inline_call(st, node, callee, args, kwargs)
+        if isinstance(callee, UnknownVal):
+            for arg in list(args) + list(kwargs.values()):
+                self._mark_escapes(arg, "passed-unknown")
+            return UnknownVal("call-unresolved")
+        return UnknownVal("call")
+
+    def _inline_call(self, st: _State, node: ast.Call, fv: FuncVal,
+                     args: List[Val], kwargs: Dict[str, Val]) -> Val:
+        """Inline a plain (non-generator) helper, e.g. one that builds
+        and returns an instruction."""
+        key = fv.code_key or id(fv.node)
+        if key in st.active or st.depth >= _MAX_DELEGATION_DEPTH:
+            return self.give_up(st, node, "recursive-call", fv.qualname)
+        sub = st.child(env=Env(parent=fv.env), file=fv.file,
+                       active=st.active + (key,), depth=st.depth + 1)
+        self._bind_params(sub, fv, args)
+        for name, val in kwargs.items():
+            sub.env.bind(name, val)
+        status, ret = self._exec_block(sub, fv.node.body)
+        return ret if ret is not None else ConstVal(None)
+
+    # -- yields ---------------------------------------------------------
+
+    def _eval_yield(self, st: _State, node: ast.Yield) -> Val:
+        if node.value is None:
+            return ConstVal(None)
+        instr = self.eval(st, node.value)
+        if isinstance(instr, InstrVal):
+            return self._lower(st, node, instr)
+        return self.give_up(st, node, "unresolved-yield",
+                            f"yield of {type(instr).__name__}")
+
+    def _eval_yield_from(self, st: _State, node: ast.YieldFrom) -> Val:
+        target: Optional[FuncVal] = None
+        args: List[Val] = []
+        kwargs: Dict[str, Val] = {}
+        if isinstance(node.value, ast.Call):
+            callee = self.eval(st, node.value.func)
+            args = [self.eval(st, a) for a in node.value.args]
+            kwargs = self._eval_kwargs(st, node.value)
+            if isinstance(callee, FuncVal):
+                target = callee
+        else:
+            direct = self.eval(st, node.value)
+            if isinstance(direct, FuncVal):
+                target = direct
+        if target is None:
+            for arg in list(args) + list(kwargs.values()):
+                self._mark_escapes(arg, "passed-unknown")
+            return self.give_up(st, node, "unresolved-delegation",
+                                ast.unparse(node.value)[:60]
+                                if hasattr(ast, "unparse") else "")
+        key = target.code_key or id(target.node)
+        if key in st.active or st.depth >= _MAX_DELEGATION_DEPTH:
+            return self.give_up(st, node, "recursive-delegation",
+                                target.qualname)
+        # Delegation stays in the SAME goroutine body: same ctx, same
+        # held-lock stack, fresh lexical env.
+        sub = st.child(env=Env(parent=target.env), file=target.file,
+                       active=st.active + (key,), depth=st.depth + 1)
+        self._bind_params(sub, target, args)
+        for name, val in kwargs.items():
+            sub.env.bind(name, val)
+        status, ret = self._exec_block(sub, target.node.body)
+        return ret if ret is not None else ConstVal(None)
+
+    # -- instruction lowering -------------------------------------------
+
+    def _arg(self, instr: InstrVal, index: int, name: str) -> Val:
+        if index < len(instr.args):
+            return instr.args[index]
+        return instr.kwargs.get(name, UnknownVal(f"missing-arg:{name}"))
+
+    def _const_int(self, val: Val) -> Optional[int]:
+        if isinstance(val, ConstVal) and isinstance(val.value, int) and \
+                not isinstance(val.value, bool):
+            return val.value
+        return None
+
+    def _lower(self, st: _State, node: ast.AST, instr: InstrVal) -> Val:
+        mn = instr.mnemonic
+        site = instr.site
+
+        if mn == "make-chan":
+            cap = self._const_int(self._arg(instr, 0, "capacity"))
+            if not instr.args and "capacity" not in instr.kwargs:
+                cap = 0  # MakeChan() defaults to unbuffered
+            label_val = instr.kwargs.get("label") or (
+                instr.args[1] if len(instr.args) > 1 else None)
+            label = label_val.value if isinstance(
+                label_val, ConstVal) and isinstance(
+                label_val.value, str) else ""
+            chan = ChanVal(self._next_uid(), site, cap, label,
+                           summarized=(st.mult != 1))
+            self.ex.channels.append(chan)
+            self._record(st, node, mn, operand=chan, site=site)
+            return chan
+
+        if mn in ("send", "recv", "close"):
+            chan = self._arg(instr, 0, "channel")
+            self._check_nil(st, node, mn, chan, site)
+            value = self._arg(instr, 1, "value") if mn == "send" else None
+            if mn == "send":
+                self._mark_escapes(value, "sent-as-value")
+            self._record(st, node, mn, operand=chan, value=value, site=site)
+            if mn == "recv":
+                return TupleVal([UnknownVal("recv-value"),
+                                 UnknownVal("recv-ok")])
+            return ConstVal(None)
+
+        if mn == "select":
+            return self._lower_select(st, node, instr, site)
+
+        if mn == "new-mutex":
+            mx = MutexVal(self._next_uid(), site, rw=False)
+            self.ex.mutexes.append(mx)
+            self._record(st, node, mn, operand=mx, site=site)
+            return mx
+        if mn == "new-rwmutex":
+            mx = MutexVal(self._next_uid(), site, rw=True)
+            self.ex.mutexes.append(mx)
+            self._record(st, node, mn, operand=mx, site=site)
+            return mx
+        if mn == "new-waitgroup":
+            wg = WgVal(self._next_uid(), site)
+            self.ex.waitgroups.append(wg)
+            self._record(st, node, mn, operand=wg, site=site)
+            return wg
+        if mn == "new-cond":
+            locker = self._arg(instr, 0, "locker")
+            cond = CondVal(self._next_uid(), site,
+                           locker if isinstance(locker, MutexVal) else None)
+            self.ex.conds.append(cond)
+            self._record(st, node, mn, operand=cond, site=site)
+            return cond
+        if mn == "new-once":
+            self._record(st, node, mn, site=site)
+            return OnceVal(self._next_uid())
+        if mn == "new-sema":
+            count = self._const_int(self._arg(instr, 0, "count"))
+            if not instr.args and "count" not in instr.kwargs:
+                count = 0
+            sema = SemaVal(self._next_uid(), site, count)
+            self.ex.semas.append(sema)
+            self._record(st, node, mn, operand=sema, site=site)
+            return sema
+
+        if mn in ("lock", "rlock"):
+            target = self._arg(instr, 0, "target")
+            op = self._record(st, node, mn, operand=target, site=site)
+            if isinstance(target, MutexVal):
+                st.held.append((target.uid, "w" if mn == "lock" else "r"))
+                op.held = tuple(st.held)
+            return ConstVal(None)
+        if mn in ("unlock", "runlock"):
+            target = self._arg(instr, 0, "target")
+            self._record(st, node, mn, operand=target, site=site)
+            if isinstance(target, MutexVal):
+                mode = "w" if mn == "unlock" else "r"
+                entry = (target.uid, mode)
+                if entry in st.held:
+                    st.held.remove(entry)
+            return ConstVal(None)
+
+        if mn == "wg-add":
+            wg = self._arg(instr, 0, "waitgroup")
+            delta = self._arg(instr, 1, "delta")
+            if not len(instr.args) > 1 and "delta" not in instr.kwargs:
+                delta = ConstVal(1)
+            self._record(st, node, mn, operand=wg, site=site,
+                         extra={"delta": self._const_int(delta)})
+            return ConstVal(None)
+        if mn in ("wg-done", "wg-wait"):
+            wg = self._arg(instr, 0, "target")
+            self._record(st, node, mn, operand=wg, site=site)
+            return ConstVal(None)
+
+        if mn in ("cond-wait", "cond-signal", "cond-broadcast"):
+            cond = self._arg(instr, 0, "target")
+            op = self._record(st, node, mn, operand=cond, site=site)
+            if mn == "cond-wait" and isinstance(cond, CondVal) and \
+                    cond.locker is not None:
+                # Wait atomically releases the locker while parked; the
+                # held set at the blocked point excludes it.
+                entry = (cond.locker.uid, "w")
+                if entry in st.held:
+                    held = list(st.held)
+                    held.remove(entry)
+                    op.held = tuple(held)
+            return ConstVal(None)
+
+        if mn in ("sem-acquire", "sem-release"):
+            sema = self._arg(instr, 0, "target")
+            self._record(st, node, mn, operand=sema, site=site)
+            return ConstVal(None)
+
+        if mn == "once-do":
+            self._record(st, node, mn, site=site)
+            return ConstVal(None)
+
+        if mn == "go":
+            return self._lower_go(st, node, instr, site)
+
+        if mn == "set-global":
+            value = self._arg(instr, 1, "value")
+            self._mark_escapes(value, "stored-global")
+            self._record(st, node, mn, operand=value, site=site)
+            return ConstVal(None)
+        if mn == "get-global":
+            self._record(st, node, mn, site=site)
+            return UnknownVal("global")
+
+        if mn == "alloc":
+            obj = self._arg(instr, 0, "obj")
+            self._record(st, node, mn, site=site)
+            return obj
+
+        if mn == "panic":
+            self._record(st, node, mn, site=site)
+            return ConstVal(None)
+
+        # Neutral instructions: sleep, io-wait, gosched, work, run-gc,
+        # now, set-finalizer, recover, defer, ...
+        self._record(st, node, mn, site=site)
+        if mn in ("now", "recover"):
+            return UnknownVal(mn)
+        return ConstVal(None)
+
+    def _check_nil(self, st: _State, node: ast.AST, mn: str, chan: Val,
+                   site: Site) -> None:
+        if isinstance(chan, ConstVal) and chan.value is None:
+            self._record(st, node, f"nil-{mn}", operand=chan, site=site)
+
+    def _lower_select(self, st: _State, node: ast.AST, instr: InstrVal,
+                      site: Site) -> Val:
+        cases_val = self._arg(instr, 0, "cases")
+        default_val = self._arg(instr, 1, "default")
+        has_default = bool(isinstance(default_val, ConstVal)
+                           and default_val.value)
+        cases: List[CaseVal] = []
+        resolved = True
+        if isinstance(cases_val, (ListVal, TupleVal)):
+            for elem in cases_val.elems:
+                if isinstance(elem, CaseVal):
+                    cases.append(elem)
+                else:
+                    resolved = False
+        else:
+            resolved = False
+        if not resolved:
+            self.give_up(st, node, "unresolved-select",
+                         "select cases not statically known")
+        alternatives = has_default or len(cases) > 1
+        select_op = self._record(st, node, "select", site=site,
+                                 extra={"cases": cases,
+                                        "default": has_default,
+                                        "resolved": resolved})
+        for case in cases:
+            self._check_nil(st, node, case.kind, case.channel, case.site)
+            self._record(st, node, case.kind, operand=case.channel,
+                         site=case.site, via_select=True,
+                         select_alternatives=alternatives,
+                         extra={"select_op": select_op, "case": case})
+        return TupleVal([UnknownVal("select-index"),
+                         UnknownVal("select-value"),
+                         UnknownVal("select-ok")])
+
+    def _lower_go(self, st: _State, node: ast.AST, instr: InstrVal,
+                  site: Site) -> Val:
+        fn = self._arg(instr, 0, "fn")
+        spawn_args = list(instr.args[1:])
+        op = self._record(st, node, "go", operand=fn, site=site,
+                          extra={"args": spawn_args})
+        if not isinstance(fn, FuncVal):
+            for arg in spawn_args:
+                self._mark_escapes(arg, "passed-unknown")
+            self.give_up(st, node, "unresolved-spawn",
+                         "Go target not statically resolvable")
+            return UnknownVal("goroutine")
+        key = fn.code_key or id(fn.node)
+        if key in st.active or len(self.ex.bodies) >= _MAX_BODIES or \
+                st.depth >= _MAX_DELEGATION_DEPTH:
+            self.give_up(st, node, "recursive-spawn", fn.qualname)
+            return UnknownVal("goroutine")
+        child = BodyCtx(len(self.ex.bodies), fn.qualname,
+                        spawn_site=site, parent=st.body)
+        self.ex.bodies.append(child)
+        # The child inherits the spawn's conditionality and multiplicity:
+        # ops in a loop-spawned goroutine happen once per spawned
+        # instance; ops in a conditionally-spawned goroutine are
+        # conditional.  Held locks do NOT cross the spawn.
+        sub = _State(child, Env(parent=fn.env), fn.file,
+                     cond_depth=st.cond_depth, mult=st.mult,
+                     held=[], active=st.active + (key,),
+                     depth=st.depth + 1)
+        self._bind_params(sub, fn, spawn_args)
+        self._exec_block(sub, fn.node.body)
+        return GoroutineVal(child)
+
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitXor: lambda a, b: a ^ b,
+}
+
+_CMPOPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.Is: lambda a, b: a is b,
+    ast.IsNot: lambda a, b: a is not b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+
+# ---------------------------------------------------------------------------
+# Front ends
+# ---------------------------------------------------------------------------
+
+
+def extract_callable(fn: Callable, name: Optional[str] = None,
+                     args: Optional[List[Val]] = None) -> Extraction:
+    """Extract a live goroutine-body function (registry mode)."""
+    loader = _FunctionLoader()
+    fv = loader.load(fn)  # type: ignore[arg-type]
+    display = name or getattr(fn, "__qualname__", repr(fn))
+    if fv is None:
+        file = "<unknown>"
+        try:
+            file = _relpath(inspect.getsourcefile(fn) or "<unknown>")
+        except TypeError:
+            pass
+        ex = Extraction(display, file, 0)
+        ex.giveups.append(GiveUp(Site(file, 0), "source-unavailable",
+                                 "could not load function source"))
+        return ex
+    extractor = Extractor(display, fv.file, fv.node.lineno)
+    extractor.ex.end_line = getattr(fv.node, "end_lineno", 0) or \
+        fv.node.lineno
+    extractor.loader = loader
+    return extractor.run_entry(fv, args)
+
+
+class _Candidate:
+    __slots__ = ("node", "scope_chain", "qualname")
+
+    def __init__(self, node: ast.FunctionDef,
+                 scope_chain: List[ast.FunctionDef], qualname: str):
+        self.node = node
+        self.scope_chain = scope_chain
+        self.qualname = qualname
+
+
+def _collect_candidates(tree: ast.Module) -> List[_Candidate]:
+    out: List[_Candidate] = []
+
+    def walk(node: ast.AST, chain: List[ast.FunctionDef]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = ".".join([c.name for c in chain] + [child.name])
+                if _contains_direct_yield(child):
+                    out.append(_Candidate(child, list(chain), qual))
+                walk(child, chain + [child])
+            elif isinstance(child, ast.ClassDef):
+                walk(child, chain)
+            else:
+                walk(child, chain)
+
+    walk(tree, [])
+    return out
+
+
+def _referenced_names(candidate: _Candidate) -> set:
+    """Name loads inside a candidate body (excluding nested defs'
+    *names* is unnecessary — any Name load counts as a reference)."""
+    names = set()
+    for child in ast.walk(candidate.node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+            names.add(child.id)
+    return names
+
+
+def _build_module_env(tree: ast.Module, path: str,
+                      loader: _FunctionLoader) -> Env:
+    env = Env()
+    file = _relpath(path)
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fv = FuncVal(stmt, env, stmt.name, file,
+                         is_generator=_contains_direct_yield(stmt),
+                         code_key=stmt)
+            env.bind(stmt.name, fv)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            if isinstance(stmt.value, ast.Constant):
+                env.bind(stmt.targets[0].id, ConstVal(stmt.value.value))
+        elif isinstance(stmt, ast.ImportFrom):
+            _bind_import_from(env, stmt, loader)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                binding = alias.asname or alias.name.split(".")[0]
+                try:
+                    import importlib
+                    module = importlib.import_module(
+                        alias.name.split(".")[0] if alias.asname is None
+                        else alias.name)
+                    env.bind(binding, ModuleVal(module))
+                except Exception:
+                    env.bind(binding, UnknownVal(f"import:{alias.name}"))
+    # Defaults for module-level defs are evaluated in the module env
+    # after all imports are bound.
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fv = env.vars.get(stmt.name)
+            if isinstance(fv, FuncVal):
+                ext = Extractor("<defaults>", file, 0)
+                ext.loader = loader
+                dummy = _State(BodyCtx(0, "<defaults>"), env, file)
+                fv.defaults.update(ext._eval_defaults(dummy, stmt))
+    return env
+
+
+def _bind_import_from(env: Env, stmt: ast.ImportFrom,
+                      loader: _FunctionLoader) -> None:
+    module = None
+    if stmt.module and stmt.level == 0:
+        try:
+            import importlib
+            module = importlib.import_module(stmt.module)
+        except Exception:
+            module = None
+    for alias in stmt.names:
+        binding = alias.asname or alias.name
+        if alias.name == "*":
+            continue
+        if module is not None and hasattr(module, alias.name):
+            env.bind(binding,
+                     python_to_val(getattr(module, alias.name), loader))
+        else:
+            env.bind(binding, UnknownVal(f"import:{alias.name}"))
+
+
+def _scope_env_for(candidate: _Candidate, module_env: Env,
+                   file: str) -> Env:
+    """Approximate the lexical environment of a nested candidate by
+    binding the nested defs (and constant assigns) of each enclosing
+    function, outermost first."""
+    env = module_env
+    for scope in candidate.scope_chain:
+        scope_env = Env(parent=env)
+        for stmt in scope.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope_env.bind(stmt.name, FuncVal(
+                    stmt, scope_env, stmt.name, file,
+                    is_generator=_contains_direct_yield(stmt),
+                    code_key=stmt))
+            elif isinstance(stmt, ast.Assign) and \
+                    len(stmt.targets) == 1 and \
+                    isinstance(stmt.targets[0], ast.Name) and \
+                    isinstance(stmt.value, ast.Constant):
+                scope_env.bind(stmt.targets[0].id,
+                               ConstVal(stmt.value.value))
+        env = scope_env
+    return env
+
+
+def find_roots(tree: ast.Module) -> List[_Candidate]:
+    """Candidates not referenced by any *other* candidate: the entry
+    bodies of the file's goroutine forest."""
+    candidates = _collect_candidates(tree)
+    names = {c.node.name for c in candidates}
+    referenced: set = set()
+    for cand in candidates:
+        refs = _referenced_names(cand) & names
+        refs.discard(cand.node.name)
+        referenced |= refs
+    return [c for c in candidates if c.node.name not in referenced]
+
+
+def extract_file(path: str) -> List[Extraction]:
+    """Extract every root generator function of a source file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    loader = _FunctionLoader()
+    module_env = _build_module_env(tree, path, loader)
+    file = _relpath(path)
+    results: List[Extraction] = []
+    for cand in sorted(find_roots(tree), key=lambda c: c.node.lineno):
+        env = _scope_env_for(cand, module_env, file)
+        fv = FuncVal(cand.node, env, cand.qualname, file,
+                     is_generator=True, code_key=cand.node)
+        ext = Extractor(cand.qualname, file, cand.node.lineno)
+        ext.ex.end_line = getattr(cand.node, "end_lineno", 0) or \
+            cand.node.lineno
+        ext.loader = loader
+        defaults_state = _State(BodyCtx(0, "<defaults>"), env, file)
+        fv.defaults.update(ext._eval_defaults(defaults_state, cand.node))
+        ext._seq = 0
+        results.append(ext.run_entry(fv))
+    return results

@@ -1,0 +1,301 @@
+"""Vet front end: file/function analysis, annotations, reports.
+
+Annotation grammar (machine-readable expectations in source comments):
+
+- ``# vet: expect <rule-id>[, <rule-id>...]`` — the enclosing function
+  is expected to trigger exactly these rules;
+- ``# vet: clean`` — the enclosing function must produce no warnings
+  or errors;
+- ``# vet: ok <rule-id> [reason]`` — suppress a diagnostic of that
+  rule anchored on this exact line (inline waiver).
+
+``expect``/``clean`` attach to the *root* function whose span contains
+the comment (or whose ``def`` line directly follows it); ``ok`` is
+line-scoped.  In ``--expect`` mode, expected diagnostics do not count
+toward ``--fail-on``, but a missing expectation or an unexpected
+warning/error is a failure — the corpus of intentionally-leaky
+examples stays green exactly when the analyzer reproduces its
+annotations.
+
+All output is deterministic: reports iterate in sorted order and the
+JSON encoder uses sorted keys, so repeated runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.extractor import extract_callable, extract_file
+from repro.staticcheck.model import (
+    ERROR,
+    INFO,
+    SEVERITY_RANK,
+    WARNING,
+    FunctionReport,
+)
+from repro.staticcheck.rules import ALL_RULES, analyze_extraction
+
+_ANNOTATION_RE = re.compile(
+    r"#\s*vet:\s*(?P<kind>expect|clean|ok)\b\s*(?P<args>[^#\n]*)")
+
+
+class Annotation:
+    __slots__ = ("line", "kind", "rules", "reason")
+
+    def __init__(self, line: int, kind: str, rules: Tuple[str, ...],
+                 reason: str = ""):
+        self.line = line
+        self.kind = kind          # "expect" | "clean" | "ok"
+        self.rules = rules
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"<vet:{self.kind} {','.join(self.rules)} @{self.line}>"
+
+
+def parse_annotations(source: str) -> List[Annotation]:
+    out: List[Annotation] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ANNOTATION_RE.search(line)
+        if match is None:
+            continue
+        kind = match.group("kind")
+        args = match.group("args").strip()
+        if kind == "clean":
+            out.append(Annotation(lineno, kind, ()))
+        elif kind == "expect":
+            rules = tuple(
+                tok for tok in re.split(r"[,\s]+", args) if tok)
+            out.append(Annotation(lineno, kind, rules))
+        else:  # ok
+            parts = args.split(None, 1)
+            rule = parts[0] if parts else ""
+            reason = parts[1] if len(parts) > 1 else ""
+            out.append(Annotation(lineno, kind, (rule,), reason))
+    return out
+
+
+def validate_annotations(annotations: Sequence[Annotation]) -> List[str]:
+    """Unknown rule ids in annotations are authoring bugs."""
+    problems = []
+    for ann in annotations:
+        for rule in ann.rules:
+            if rule and rule not in ALL_RULES:
+                problems.append(
+                    f"line {ann.line}: unknown rule id {rule!r}")
+    return problems
+
+
+class ExpectMismatch:
+    __slots__ = ("function", "file", "kind", "rule", "site")
+
+    def __init__(self, function: str, file: str, kind: str, rule: str,
+                 site: str = ""):
+        self.function = function
+        self.file = file
+        self.kind = kind          # "missing" | "unexpected"
+        self.rule = rule
+        self.site = site
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"function": self.function, "file": self.file,
+                "kind": self.kind, "rule": self.rule, "site": self.site}
+
+    def format(self) -> str:
+        if self.kind == "missing":
+            return (f"{self.file}: {self.function}: expected rule "
+                    f"{self.rule} did not fire")
+        return (f"{self.site}: {self.function}: unexpected {self.rule} "
+                f"(no matching `# vet:` annotation)")
+
+
+def _attach_annotations(
+        reports: List[FunctionReport],
+        annotations: Sequence[Annotation]) -> List[ExpectMismatch]:
+    """Mark expected/suppressed diagnostics and compute mismatches."""
+    mismatches: List[ExpectMismatch] = []
+    spans = sorted(reports, key=lambda r: r.line)
+
+    def owner_of(line: int) -> Optional[FunctionReport]:
+        for report in spans:
+            if report.line <= line <= report.end_line:
+                return report
+        for report in spans:  # comment directly above the def
+            if line == report.line - 1:
+                return report
+        return None
+
+    expected: Dict[int, set] = {}
+    annotated: Dict[int, bool] = {}
+    for ann in annotations:
+        report = owner_of(ann.line)
+        if report is None:
+            continue
+        key = id(report)
+        if ann.kind == "clean":
+            annotated[key] = True
+            expected.setdefault(key, set())
+        elif ann.kind == "expect":
+            annotated[key] = True
+            expected.setdefault(key, set()).update(ann.rules)
+        else:  # ok — line-scoped suppression
+            for diag in report.diagnostics:
+                if diag.site.line == ann.line and \
+                        diag.rule == ann.rules[0]:
+                    diag.suppressed = True
+
+    for report in spans:
+        key = id(report)
+        if key not in annotated:
+            continue
+        want = expected.get(key, set())
+        got: Dict[str, str] = {}
+        for diag in report.diagnostics:
+            if diag.suppressed:
+                continue
+            if diag.rule in want:
+                diag.expected = True
+            if SEVERITY_RANK[diag.severity] >= SEVERITY_RANK[WARNING] or \
+                    diag.rule in want:
+                got.setdefault(diag.rule, str(diag.site))
+        for rule in sorted(want - set(got)):
+            mismatches.append(ExpectMismatch(
+                report.name, report.file, "missing", rule))
+        for rule in sorted(set(got) - want):
+            mismatches.append(ExpectMismatch(
+                report.name, report.file, "unexpected", rule, got[rule]))
+    return mismatches
+
+
+class VetReport:
+    """Aggregated vet run over one or more targets."""
+
+    def __init__(self):
+        self.reports: List[FunctionReport] = []
+        self.mismatches: List[ExpectMismatch] = []
+        self.annotation_problems: List[str] = []
+        self.expect_mode = False
+
+    # -- outcome --------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        out = {"functions": len(self.reports), "clean": 0, "suspect": 0,
+               "leaky": 0, "unknown": 0, ERROR: 0, WARNING: 0, INFO: 0}
+        for report in self.reports:
+            out[report.verdict] += 1
+            for diag in report.diagnostics:
+                if not diag.suppressed:
+                    out[diag.severity] += 1
+        return out
+
+    def failures(self, fail_on: str = ERROR) -> List[str]:
+        """Human-readable reasons this run should exit non-zero."""
+        threshold = SEVERITY_RANK[fail_on]
+        reasons: List[str] = []
+        for report in self.reports:
+            for diag in report.diagnostics:
+                if diag.suppressed or (diag.expected and self.expect_mode):
+                    continue
+                if SEVERITY_RANK[diag.severity] >= threshold:
+                    reasons.append(
+                        f"{diag.site}: {diag.severity}: {diag.rule}")
+        if self.expect_mode:
+            reasons.extend(m.format() for m in self.mismatches)
+        reasons.extend(self.annotation_problems)
+        return reasons
+
+    # -- rendering ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-vet-report/1",
+            "expect_mode": self.expect_mode,
+            "summary": dict(sorted(self.counts().items())),
+            "functions": [r.to_dict() for r in self._sorted_reports()],
+            "expect_mismatches": [m.to_dict() for m in self.mismatches],
+            "annotation_problems": list(self.annotation_problems),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def _sorted_reports(self) -> List[FunctionReport]:
+        return sorted(self.reports, key=lambda r: (r.file, r.line, r.name))
+
+    def format_text(self) -> str:
+        lines: List[str] = []
+        for report in self._sorted_reports():
+            lines.append(f"{report.file}:{report.line}: "
+                         f"{report.name}: {report.verdict}")
+            for diag in report.diagnostics:
+                lines.append("  " + diag.format().replace("\n", "\n  "))
+        if self.expect_mode:
+            for mismatch in self.mismatches:
+                lines.append(f"EXPECT-MISMATCH: {mismatch.format()}")
+        for problem in self.annotation_problems:
+            lines.append(f"ANNOTATION: {problem}")
+        counts = self.counts()
+        lines.append(
+            f"vet: {counts['functions']} function(s): "
+            f"{counts['leaky']} leaky, {counts['suspect']} suspect, "
+            f"{counts['unknown']} unknown, {counts['clean']} clean "
+            f"({counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+            f"{counts[INFO]} info)")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Front ends
+# ---------------------------------------------------------------------------
+
+
+def analyze_callable(fn: Callable, name: Optional[str] = None
+                     ) -> FunctionReport:
+    """Analyze one live goroutine-body function (registry mode)."""
+    return analyze_extraction(extract_callable(fn, name=name))
+
+
+def analyze_file(path: str) -> List[FunctionReport]:
+    """Analyze every root generator function in a source file."""
+    return [analyze_extraction(ex) for ex in extract_file(path)]
+
+
+def _expand_targets(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if not d.startswith((".", "__"))]
+                for name in sorted(names):
+                    if name.endswith(".py") and not name.startswith("__"):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    seen = set()
+    out = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            out.append(path)
+    return out
+
+
+def vet_paths(paths: Sequence[str], expect: bool = False) -> VetReport:
+    """Run the analyzer over files/directories and aggregate."""
+    vet = VetReport()
+    vet.expect_mode = expect
+    for path in _expand_targets(paths):
+        reports = analyze_file(path)
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        annotations = parse_annotations(source)
+        vet.annotation_problems.extend(
+            f"{path}: {problem}"
+            for problem in validate_annotations(annotations))
+        vet.mismatches.extend(_attach_annotations(reports, annotations))
+        vet.reports.extend(reports)
+    return vet

@@ -1,0 +1,632 @@
+"""Rule engine: per-channel behavioral summaries -> Diagnostics.
+
+Each rule is keyed to the paper's leak taxonomy (GOLF §2, §7) and runs
+over the :class:`Extraction` produced by the extractor.  Rules see
+abstract multiplicities (``1``/``n``/``MANY``), conditional depth, and
+select membership — never raw ASTs.
+
+Severity contract (this is what makes ``--fail-on error`` usable in
+CI over the intentionally-racy resilient service layer):
+
+- ``error``   — the op *definitely* blocks forever whenever it runs
+  (GOLF would reclaim it on every execution that reaches it);
+- ``warning`` — the op leaks on *some* executions (a racing/conditional
+  discharge exists: GOLF's flaky population);
+- ``info``    — analysis notes (give-ups, escapes); never trip CI.
+
+A transitive fixpoint re-runs the rules after marking everything
+sequenced after a definitely-blocked op unreachable, so secondary
+leaks (a sender whose only receiver is itself deadlocked) surface with
+their own diagnostics — the static analog of GOLF's iterative
+unreachable-set expansion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.staticcheck.model import (
+    ERROR,
+    INFO,
+    MANY,
+    WARNING,
+    ChanVal,
+    CondVal,
+    Diagnostic,
+    Extraction,
+    FunctionReport,
+    Mult,
+    MutexVal,
+    Op,
+    SemaVal,
+    Site,
+    WgVal,
+)
+
+#: Rule identifiers (the public catalog; see docs/STATIC_ANALYSIS.md).
+SEND_NO_RECV = "send-no-recv"
+SEND_OVERFLOW = "send-overflow"
+SEND_MAY_DROP = "send-may-drop"
+RECV_NO_SEND = "recv-no-send"
+RECV_NO_CLOSE = "recv-no-close"
+RECV_MAY_STARVE = "recv-may-starve"
+SELECT_DEAD = "select-dead"
+WG_IMBALANCE = "wg-imbalance"
+MUTEX_HELD_FOREVER = "mutex-held-forever"
+DOUBLE_LOCK = "double-lock"
+COND_NO_SIGNAL = "cond-no-signal"
+SEMA_NO_RELEASE = "sema-no-release"
+NIL_CHAN_OP = "nil-chan-op"
+UNRESOLVED = "unresolved"
+
+ALL_RULES = (
+    SEND_NO_RECV, SEND_OVERFLOW, SEND_MAY_DROP, RECV_NO_SEND,
+    RECV_NO_CLOSE, RECV_MAY_STARVE, SELECT_DEAD, WG_IMBALANCE,
+    MUTEX_HELD_FOREVER, DOUBLE_LOCK, COND_NO_SIGNAL, SEMA_NO_RELEASE,
+    NIL_CHAN_OP, UNRESOLVED,
+)
+
+_FIXPOINT_LIMIT = 6
+
+
+def _mult_str(mult: Mult) -> str:
+    return "unbounded" if mult == MANY else str(int(mult))
+
+
+def _sum_mult(ops: List[Op]) -> Mult:
+    total: Mult = 0
+    for op in ops:
+        total += op.mult
+    return total
+
+
+def _chan_provenance(chan: ChanVal, op: Op,
+                     last_role: Optional[str] = None
+                     ) -> List[Tuple[str, str, str]]:
+    """make-site -> spawn-site chain -> blocked-op site."""
+    steps: List[Tuple[str, str, str]] = []
+    if chan.make_site is not None:
+        cap = "?" if chan.capacity is None else str(chan.capacity)
+        detail = f"capacity {cap}"
+        if chan.label:
+            detail += f", label {chan.label!r}"
+        steps.append(("make-chan", str(chan.make_site), detail))
+    for site, name in op.body.spawn_steps():
+        steps.append(("go", str(site), f"spawns {name}"))
+    steps.append((last_role or op.mnemonic, str(op.site), "blocks here"))
+    return steps
+
+
+def _op_provenance(op: Op, detail: str = "blocks here"
+                   ) -> List[Tuple[str, str, str]]:
+    steps: List[Tuple[str, str, str]] = []
+    for site, name in op.body.spawn_steps():
+        steps.append(("go", str(site), f"spawns {name}"))
+    steps.append((op.mnemonic, str(op.site), detail))
+    return steps
+
+
+class _RuleRun:
+    """One pass of every rule over the extraction."""
+
+    def __init__(self, ex: Extraction):
+        self.ex = ex
+        self.diags: List[Diagnostic] = []
+        self.blocked: List[Op] = []
+
+    def emit(self, rule: str, severity: str, site: Site, message: str,
+             provenance: Optional[List[Tuple[str, str, str]]] = None,
+             channel_label: str = "",
+             blocked_ops: Optional[List[Op]] = None) -> None:
+        self.diags.append(Diagnostic(
+            rule, severity, site, self.ex.entry_name, message,
+            provenance=provenance, channel_label=channel_label))
+        for op in blocked_ops or []:
+            # Only an unconditional block poisons its continuation.
+            if op.guaranteed:
+                self.blocked.append(op)
+
+    # -- channel rules --------------------------------------------------
+
+    def run(self) -> None:
+        for chan in self.ex.channels:
+            if chan.suppressed:
+                continue
+            self._check_sends(chan)
+            self._check_recvs(chan)
+        self._check_selects()
+        for wg in self.ex.waitgroups:
+            self._check_waitgroup(wg)
+        self._check_mutexes()
+        for cond in self.ex.conds:
+            self._check_cond(cond)
+        for sema in self.ex.semas:
+            self._check_sema(sema)
+        self._check_nil_ops()
+
+    def _sends(self, chan: ChanVal) -> List[Op]:
+        """Send sites that can block forever (select arms with live
+        alternatives or a default cannot)."""
+        return [op for op in self.ex.ops_for(chan, ("send",))
+                if not (op.via_select and op.select_alternatives)]
+
+    def _recvs(self, chan: ChanVal) -> List[Op]:
+        return self.ex.ops_for(chan, ("recv",))
+
+    def _recv_is_guaranteed(self, op: Op) -> bool:
+        """A plain recv always discharges; a select recv-case only does
+        when every *sibling* case is dead (then the select must commit
+        to this arm) and there is no default."""
+        if not op.via_select or not op.select_alternatives:
+            return True
+        select_op = op.extra.get("select_op")
+        case = op.extra.get("case")
+        if select_op is None or case is None:
+            return False
+        if select_op.extra.get("default"):
+            return False
+        for sibling in select_op.extra.get("cases", []):
+            if sibling is case:
+                continue
+            if self._case_dead(select_op, sibling) is None:
+                return False
+        return True
+
+    def _closes(self, chan: ChanVal) -> List[Op]:
+        return self.ex.ops_for(chan, ("close",))
+
+    def _check_sends(self, chan: ChanVal) -> None:
+        sends = self._sends(chan)
+        if not sends:
+            return
+        recvs = self._recvs(chan)
+        guaranteed_recvs = [op for op in recvs if op.guaranteed
+                            and self._recv_is_guaranteed(op)]
+        total_sends = _sum_mult(sends)
+        grecv = _sum_mult(guaranteed_recvs)
+        cap: Mult = chan.capacity if chan.capacity is not None else 0
+        cap_known = chan.capacity is not None
+        slack = cap + grecv
+        if total_sends <= slack:
+            return
+
+        anchor = self._crossing_send(sends, slack)
+        label = chan.label
+
+        if not recvs and not self._closes(chan):
+            severity = ERROR if cap_known else WARNING
+            self.emit(
+                SEND_NO_RECV, severity, anchor.site,
+                f"send on {self._chan_desc(chan)} with no receiver "
+                f"anywhere ({_mult_str(total_sends)} send(s), capacity "
+                f"absorbs {_mult_str(cap)})",
+                provenance=_chan_provenance(chan, anchor, "send"),
+                channel_label=label,
+                blocked_ops=[anchor] if severity == ERROR else None)
+            return
+
+        exact = (
+            not chan.summarized and cap_known
+            and all(op.guaranteed and op.mult != MANY for op in sends)
+            and all(op.guaranteed and op.mult != MANY
+                    and not op.via_select for op in recvs)
+        )
+        if exact:
+            self.emit(
+                SEND_OVERFLOW, ERROR, anchor.site,
+                f"{_mult_str(total_sends)} send(s) on "
+                f"{self._chan_desc(chan)} but capacity {_mult_str(cap)} "
+                f"+ {_mult_str(grecv)} receive(s) absorb only "
+                f"{_mult_str(slack)}",
+                provenance=_chan_provenance(chan, anchor, "send"),
+                channel_label=label, blocked_ops=[anchor])
+            return
+
+        self.emit(
+            SEND_MAY_DROP, WARNING, anchor.site,
+            f"send on {self._chan_desc(chan)} may never be received: "
+            f"{_mult_str(total_sends)} potential send(s) vs "
+            f"{_mult_str(grecv)} guaranteed receive(s) "
+            f"(receivers are conditional or race in a select)",
+            provenance=_chan_provenance(chan, anchor, "send"),
+            channel_label=label)
+
+    @staticmethod
+    def _crossing_send(sends: List[Op], slack: Mult) -> Op:
+        """The first send that no longer fits in the slack."""
+        ordered = sorted(sends, key=lambda op: op.seq)
+        if slack == MANY:
+            return ordered[-1]
+        used: Mult = 0
+        for op in ordered:
+            used += op.mult
+            if used > slack:
+                return op
+        return ordered[-1]
+
+    @staticmethod
+    def _chan_desc(chan: ChanVal) -> str:
+        cap = "?" if chan.capacity is None else chan.capacity
+        name = f"chan(cap={cap})"
+        if chan.label:
+            name += f" {chan.label!r}"
+        return name
+
+    def _check_recvs(self, chan: ChanVal) -> None:
+        recvs = [op for op in self._recvs(chan)
+                 if op.guaranteed
+                 and not (op.via_select and op.select_alternatives)]
+        if not recvs:
+            return
+        demand = _sum_mult(recvs)
+        sends = self.ex.ops_for(chan, ("send",))
+        supply = _sum_mult(sends)
+        closes = self._closes(chan)
+        if closes and any(op.guaranteed for op in closes):
+            return
+        if demand <= supply:
+            return
+        anchor = sorted(recvs, key=lambda op: op.seq)[-1]
+        if closes:
+            self.emit(
+                RECV_MAY_STARVE, WARNING, anchor.site,
+                f"receive on {self._chan_desc(chan)} may starve: "
+                f"{_mult_str(demand)} guaranteed receive(s) vs "
+                f"{_mult_str(supply)} send(s), and every close site is "
+                f"conditional",
+                provenance=_chan_provenance(chan, anchor, "recv"),
+                channel_label=chan.label)
+            return
+        if demand == MANY:
+            self.emit(
+                RECV_NO_CLOSE, ERROR, anchor.site,
+                f"receive loop drains {self._chan_desc(chan)} forever "
+                f"but only {_mult_str(supply)} send(s) exist and the "
+                f"channel is never closed",
+                provenance=_chan_provenance(chan, anchor, "recv"),
+                channel_label=chan.label, blocked_ops=[anchor])
+            return
+        self.emit(
+            RECV_NO_SEND, ERROR, anchor.site,
+            f"receive on {self._chan_desc(chan)} can never complete: "
+            f"{_mult_str(demand)} guaranteed receive(s) vs "
+            f"{_mult_str(supply)} send(s) and no close",
+            provenance=_chan_provenance(chan, anchor, "recv"),
+            channel_label=chan.label, blocked_ops=[anchor])
+
+    # -- select ---------------------------------------------------------
+
+    def _check_selects(self) -> None:
+        for op in self.ex.ops:
+            if op.mnemonic != "select" or op.unreachable:
+                continue
+            if not op.extra.get("resolved", False):
+                continue
+            if op.extra.get("default"):
+                continue
+            cases = op.extra.get("cases", [])
+            if not cases:
+                self.emit(
+                    SELECT_DEAD, ERROR, op.site,
+                    "empty select with no default blocks forever",
+                    provenance=_op_provenance(op), blocked_ops=[op])
+                continue
+            dead_reasons = []
+            for case in cases:
+                reason = self._case_dead(op, case)
+                if reason is None:
+                    dead_reasons = []
+                    break
+                dead_reasons.append(reason)
+            if dead_reasons:
+                self.emit(
+                    SELECT_DEAD, ERROR, op.site,
+                    "select blocks forever: " + "; ".join(dead_reasons),
+                    provenance=_op_provenance(op), blocked_ops=[op])
+
+    def _case_dead(self, select_op: Op, case) -> Optional[str]:
+        chan = case.channel
+        if not isinstance(chan, ChanVal):
+            return None  # unknown channel: assume live
+        if chan.suppressed:
+            return None
+        if case.kind == "recv":
+            others = [o for o in self.ex.ops_for(chan, ("send", "close"))
+                      if o.site != select_op.site or o.seq < select_op.seq]
+            others = [o for o in others if not (
+                o.mnemonic == "send" and o.via_select
+                and o.body is select_op.body and o.seq == select_op.seq)]
+            if not others:
+                return (f"recv case on {self._chan_desc(chan)} has no "
+                        f"sender and no close")
+            return None
+        # send case
+        cap = chan.capacity if chan.capacity is not None else 0
+        if chan.capacity is None or cap > 0:
+            return None
+        others = [o for o in self.ex.ops_for(chan, ("recv",))
+                  if not (o.body is select_op.body
+                          and o.seq == select_op.seq)]
+        if not others:
+            return (f"send case on {self._chan_desc(chan)} has no "
+                    f"receiver")
+        return None
+
+    # -- waitgroups -----------------------------------------------------
+
+    def _check_waitgroup(self, wg: WgVal) -> None:
+        waits = self.ex.ops_for(wg, ("wg-wait",))
+        if not waits:
+            return
+        adds = self.ex.ops_for(wg, ("wg-add",))
+        dones = self.ex.ops_for(wg, ("wg-done",))
+        add_total: Mult = 0
+        add_exact = True
+        for op in adds:
+            delta = op.extra.get("delta")
+            if delta is None or op.mult == MANY:
+                add_exact = False
+                add_total = MANY
+                break
+            if op.conditional:
+                add_exact = False
+            add_total += delta * op.mult
+        done_total = _sum_mult(dones)
+        done_exact = all(op.guaranteed and op.mult != MANY
+                         for op in dones)
+        anchor = waits[0]
+        if add_total and not dones:
+            prov = _op_provenance(anchor, "waits forever")
+            for op in adds:
+                prov.append(("wg-add", str(op.site),
+                             f"counter +{op.extra.get('delta', '?')}"))
+            self.emit(
+                WG_IMBALANCE, ERROR, anchor.site,
+                f"WaitGroup.wait with {_mult_str(add_total)} add(s) and "
+                f"no done anywhere",
+                provenance=prov, blocked_ops=list(waits))
+            return
+        if add_exact and done_exact and add_total != done_total:
+            severity = ERROR if done_total < add_total else WARNING
+            self.emit(
+                WG_IMBALANCE, severity, anchor.site,
+                f"WaitGroup adds {_mult_str(add_total)} but dones "
+                f"{_mult_str(done_total)}",
+                provenance=_op_provenance(anchor, "waits forever"),
+                blocked_ops=list(waits) if severity == ERROR else None)
+
+    # -- mutexes --------------------------------------------------------
+
+    def _check_mutexes(self) -> None:
+        self._check_unreleased_locks()
+        self._check_double_locks()
+        self._check_blocked_holders()
+
+    def _lock_ops_by_body(self, mutex: MutexVal
+                          ) -> Dict[int, List[Op]]:
+        by_body: Dict[int, List[Op]] = {}
+        for op in self.ex.ops_for(
+                mutex, ("lock", "unlock", "rlock", "runlock")):
+            by_body.setdefault(op.body.uid, []).append(op)
+        for ops in by_body.values():
+            ops.sort(key=lambda op: op.seq)
+        return by_body
+
+    def _check_unreleased_locks(self) -> None:
+        for mutex in self.ex.mutexes:
+            by_body = self._lock_ops_by_body(mutex)
+            for body_uid, ops in sorted(by_body.items()):
+                unreleased = self._find_unreleased(ops)
+                if unreleased is None:
+                    continue
+                contenders = [
+                    op for uid, others in sorted(by_body.items())
+                    if uid != body_uid
+                    for op in others
+                    if op.mnemonic in ("lock", "rlock")
+                    and not (op.mnemonic == "rlock"
+                             and unreleased.mnemonic == "rlock")
+                ]
+                if not contenders:
+                    continue
+                prov = _op_provenance(
+                    unreleased, "acquired here, never released")
+                for op in contenders:
+                    prov.append((op.mnemonic, str(op.site),
+                                 "queues behind it forever"))
+                self.emit(
+                    MUTEX_HELD_FOREVER, ERROR, unreleased.site,
+                    f"{'rwmutex' if mutex.rw else 'mutex'} locked and "
+                    f"never unlocked while "
+                    f"{len(contenders)} other goroutine(s) wait for it",
+                    provenance=prov, blocked_ops=contenders)
+
+    @staticmethod
+    def _find_unreleased(ops: List[Op]) -> Optional[Op]:
+        """A guaranteed lock/rlock with no later release in its body."""
+        for i, op in enumerate(ops):
+            if op.mnemonic not in ("lock", "rlock") or not op.guaranteed:
+                continue
+            release = "unlock" if op.mnemonic == "lock" else "runlock"
+            if not any(o.mnemonic == release for o in ops[i + 1:]):
+                return op
+        return None
+
+    def _check_double_locks(self) -> None:
+        for mutex in self.ex.mutexes:
+            by_body = self._lock_ops_by_body(mutex)
+            for _, ops in sorted(by_body.items()):
+                held = 0
+                for op in ops:
+                    if op.mnemonic == "lock":
+                        if held > 0 and op.guaranteed:
+                            self.emit(
+                                DOUBLE_LOCK, ERROR, op.site,
+                                "second lock of an already-held mutex "
+                                "in the same goroutine self-deadlocks",
+                                provenance=_op_provenance(op),
+                                blocked_ops=[op])
+                        held += 1
+                    elif op.mnemonic == "unlock":
+                        held = max(0, held - 1)
+
+    def _check_blocked_holders(self) -> None:
+        """A goroutine definitely blocked while holding a lock starves
+        every other locker of that mutex (transitive: the rwmutex
+        stuck-pair)."""
+        held_forever: Dict[int, Op] = {}
+        for op in self.ex.ops:
+            if op.definitely_blocked and op.guaranteed and op.held:
+                for uid, _mode in op.held:
+                    held_forever.setdefault(uid, op)
+        if not held_forever:
+            return
+        for mutex in self.ex.mutexes:
+            holder = held_forever.get(mutex.uid)
+            if holder is None:
+                continue
+            holder_modes = {m for u, m in holder.held if u == mutex.uid}
+            contenders = [
+                op for op in self.ex.ops_for(mutex, ("lock", "rlock"))
+                if op.body is not holder.body
+                and not (op.mnemonic == "rlock"
+                         and holder_modes == {"r"})
+            ]
+            if not contenders:
+                continue
+            anchor = sorted(contenders, key=lambda op: op.seq)[0]
+            prov = _op_provenance(
+                anchor, "waits for a lock that is never released")
+            prov.append((holder.mnemonic, str(holder.site),
+                         f"holder is itself blocked here "
+                         f"({holder.body.func_name})"))
+            if self._already_emitted(MUTEX_HELD_FOREVER, anchor.site):
+                continue
+            self.emit(
+                MUTEX_HELD_FOREVER, ERROR, anchor.site,
+                f"{'rwmutex' if mutex.rw else 'mutex'} is held by a "
+                f"goroutine that is itself deadlocked at "
+                f"{holder.site}",
+                provenance=prov, blocked_ops=contenders)
+
+    def _already_emitted(self, rule: str, site: Site) -> bool:
+        return any(d.rule == rule and d.site == site for d in self.diags)
+
+    # -- condition variables --------------------------------------------
+
+    def _check_cond(self, cond: CondVal) -> None:
+        waits = self.ex.ops_for(cond, ("cond-wait",))
+        if not waits:
+            return
+        signals = self.ex.ops_for(cond, ("cond-signal", "cond-broadcast"))
+        if signals:
+            return
+        anchor = waits[0]
+        self.emit(
+            COND_NO_SIGNAL, ERROR, anchor.site,
+            "cond.wait with no signal or broadcast site anywhere",
+            provenance=_op_provenance(anchor, "waits forever"),
+            blocked_ops=list(waits))
+
+    # -- semaphores -----------------------------------------------------
+
+    def _check_sema(self, sema: SemaVal) -> None:
+        acquires = self.ex.ops_for(sema, ("sem-acquire",))
+        if not acquires or sema.count is None:
+            return
+        releases = self.ex.ops_for(sema, ("sem-release",))
+        demand = _sum_mult([op for op in acquires if op.guaranteed])
+        supply = sema.count + _sum_mult(releases)
+        if demand <= supply:
+            return
+        anchor = self._crossing_send(acquires, supply)
+        severity = ERROR if all(
+            op.guaranteed and op.mult != MANY for op in releases
+        ) else WARNING
+        self.emit(
+            SEMA_NO_RELEASE, severity, anchor.site,
+            f"semaphore acquires {_mult_str(demand)} but initial count "
+            f"{sema.count} + {_mult_str(_sum_mult(releases))} release(s) "
+            f"only supply {_mult_str(supply)}",
+            provenance=_op_provenance(anchor, "blocks here"),
+            blocked_ops=[anchor] if severity == ERROR else None)
+
+    # -- nil channels ---------------------------------------------------
+
+    def _check_nil_ops(self) -> None:
+        seen = set()
+        for op in self.ex.ops:
+            if not op.mnemonic.startswith("nil-") or op.unreachable:
+                continue
+            key = (op.site.file, op.site.line, op.mnemonic)
+            if key in seen:
+                continue
+            seen.add(key)
+            kind = op.mnemonic[len("nil-"):]
+            message = (f"{kind} on a nil channel "
+                       + ("panics" if kind == "close"
+                          else "blocks forever"))
+            self.emit(
+                NIL_CHAN_OP, ERROR, op.site, message,
+                provenance=_op_provenance(op),
+                blocked_ops=[op] if kind != "close" else None)
+
+
+def _propagate_unreachable(ex: Extraction, blocked: List[Op]) -> bool:
+    """Mark every op sequenced after a definitely-blocked op in the
+    same body unreachable.  Returns True when anything changed."""
+    changed = False
+    for op in blocked:
+        if not op.definitely_blocked:
+            op.definitely_blocked = True
+            changed = True
+    horizon: Dict[int, int] = {}
+    for op in ex.ops:
+        if op.definitely_blocked and not op.conditional:
+            uid = op.body.uid
+            horizon[uid] = min(horizon.get(uid, op.seq), op.seq)
+    for op in ex.ops:
+        limit = horizon.get(op.body.uid)
+        if limit is not None and op.seq > limit and not op.unreachable:
+            op.unreachable = True
+            changed = True
+    return changed
+
+
+def analyze_extraction(ex: Extraction) -> FunctionReport:
+    """Run the rule engine (with the transitive-unreachability fixpoint)
+    and assemble a FunctionReport."""
+    diags: List[Diagnostic] = []
+    for _ in range(_FIXPOINT_LIMIT):
+        run = _RuleRun(ex)
+        run.run()
+        diags = run.diags
+        if not _propagate_unreachable(ex, run.blocked):
+            break
+
+    report = FunctionReport(ex.entry_name, ex.file, ex.line, ex.end_line)
+
+    seen_giveups = set()
+    for giveup in ex.giveups:
+        key = (giveup.site.file, giveup.site.line, giveup.reason)
+        if key in seen_giveups:
+            continue
+        seen_giveups.add(key)
+        report.giveups.append(giveup)
+        diags.append(Diagnostic(
+            UNRESOLVED, INFO, giveup.site, ex.entry_name,
+            f"analysis gave up: {giveup.reason}"
+            + (f" ({giveup.detail})" if giveup.detail else "")))
+
+    report.diagnostics = sorted(
+        diags, key=lambda d: (d.site.file, d.site.line, d.rule, d.message))
+    report.escaped_channels = sum(
+        1 for chan in ex.channels if chan.suppressed)
+    report.stats = {
+        "ops": len(ex.ops),
+        "bodies": len(ex.bodies),
+        "channels": len(ex.channels),
+        "mutexes": len(ex.mutexes),
+        "waitgroups": len(ex.waitgroups),
+    }
+    return report

@@ -223,6 +223,18 @@ class TelemetryHub:
         self.service_breaker_rejected = reg.counter(
             "repro_service_breaker_rejected_total",
             "Calls rejected by an open breaker", labelnames=("service",))
+        # Static analyzer (`repro vet`).
+        self.vet_runs = reg.counter(
+            "repro_vet_runs_total",
+            "Static analyzer (`repro vet`) invocations")
+        self.vet_functions = reg.counter(
+            "repro_vet_functions_total",
+            "Root functions analyzed by `repro vet`, by verdict",
+            labelnames=("verdict",))
+        self.vet_diagnostics = reg.counter(
+            "repro_vet_diagnostics_total",
+            "Diagnostics emitted by `repro vet`, by rule and severity",
+            labelnames=("rule", "severity"))
         self.clock_ns = reg.gauge(
             "repro_clock_ns", "Virtual clock at the last snapshot",
             unit="ns")
@@ -357,6 +369,24 @@ class TelemetryHub:
         self.faults_injected.labels(kind).inc()
         self.recorder.record("chaos", kind, goid, detail,
                              severity=rec.WARN)
+
+    # -- static analyzer callbacks -------------------------------------------
+
+    def on_vet_run(self, vet) -> None:
+        """Record one `repro vet` run (a VetReport; no runtime attached)."""
+        self.vet_runs.inc()
+        for report in vet.reports:
+            self.vet_functions.labels(report.verdict).inc()
+            for diag in report.diagnostics:
+                if diag.suppressed:
+                    continue
+                self.vet_diagnostics.labels(diag.rule, diag.severity).inc()
+        counts = vet.counts()
+        self.recorder.record(
+            "vet", "run", 0,
+            f"{counts['functions']} function(s): {counts['leaky']} leaky, "
+            f"{counts['suspect']} suspect, {counts['unknown']} unknown, "
+            f"{counts['clean']} clean")
 
     # -- outputs -------------------------------------------------------------
 

@@ -1,0 +1,76 @@
+"""Cross-validation of `repro vet` against GOLF's dynamic ground truth.
+
+The acceptance bar from the static-analysis issue: recall >= 0.75 on the
+GOLF-confirmed leaky population, every FP/FN enumerated by pattern name,
+and a byte-deterministic report.
+"""
+
+import pytest
+
+from repro.microbench.registry import all_benchmarks, ground_truth
+from repro.staticcheck import run_crossval
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_crossval()
+
+
+class TestGroundTruth:
+    def test_both_populations_exposed(self):
+        rows = ground_truth()
+        leaky = [r for r in rows if r["population"] == "leaky"]
+        fixed = [r for r in rows if r["population"] == "fixed"]
+        assert len(leaky) == len(all_benchmarks())
+        assert len(fixed) == sum(
+            1 for b in all_benchmarks() if b.fixed is not None)
+        assert all(r["leaky"] for r in leaky)
+        assert not any(r["leaky"] for r in fixed)
+
+    def test_rows_sorted_and_labeled(self):
+        rows = ground_truth()
+        leaky_names = [r["name"] for r in rows
+                       if r["population"] == "leaky"]
+        assert leaky_names == sorted(leaky_names)
+        for row in rows:
+            assert callable(row["body"])
+            if row["population"] == "leaky":
+                assert row["sites"], row["name"]
+
+
+class TestCrossval:
+    def test_recall_meets_floor(self, result):
+        assert result.tp + result.fn == len(all_benchmarks())
+        assert result.recall >= 0.75
+
+    def test_no_false_positives_on_fixed_population(self, result):
+        assert result.fp == 0
+        assert result.precision == 1.0
+
+    def test_every_fn_enumerated_by_pattern_name(self, result):
+        names = {b.name for b in all_benchmarks()}
+        for row in result.false_negatives():
+            assert row.name in names
+            assert row.detail  # why it was missed, not just that it was
+        payload = result.to_dict()
+        assert len(payload["false_negatives"]) == result.fn
+        assert len(payload["false_positives"]) == result.fp
+
+    def test_known_misses_gave_up_soundly(self, result):
+        # The analyzer may miss a leaky pattern only by *admitting* it
+        # (unknown verdict after an explicit give-up), never by calling
+        # it clean.
+        for row in result.false_negatives():
+            assert row.verdict == "unknown", (
+                f"{row.name}: silent miss (verdict {row.verdict})")
+
+    def test_report_is_byte_deterministic(self, result):
+        again = run_crossval()
+        assert result.to_json() == again.to_json()
+        assert "schema" in result.to_dict()
+
+    def test_text_report_enumerates_misses(self, result):
+        text = result.format_text()
+        assert "recall" in text and "precision" in text
+        for row in result.false_negatives():
+            assert row.name in text

@@ -1,0 +1,206 @@
+"""Adversarial tests for the vet extractor (repro.staticcheck.extractor).
+
+The extractor must stay *sound*: when a body uses constructs it can
+resolve (deep ``yield from`` chains, channels aliased through containers
+with constant keys, instructions built by helper functions) it extracts
+the precise concurrency CFG; when it cannot (dynamic channel choice) it
+must give up explicitly and report an ``unknown`` verdict instead of
+guessing.
+"""
+
+import textwrap
+
+from repro.runtime.instructions import (
+    GetGlobal,
+    Go,
+    MakeChan,
+    Recv,
+    Send,
+)
+from repro.staticcheck import analyze_callable, extract_callable
+from repro.staticcheck.model import UNKNOWN
+
+
+def _mnemonics(ex):
+    return [op.mnemonic for op in sorted(ex.ops, key=lambda o: o.seq)]
+
+
+class TestYieldFromChains:
+    def test_three_deep_delegation_single_body(self):
+        def level3(ch):
+            yield Send(ch, 3)
+
+        def level2(ch):
+            yield from level3(ch)
+            yield Send(ch, 2)
+
+        def level1(ch):
+            yield from level2(ch)
+
+        def entry():
+            ch = yield MakeChan(5)
+            yield from level1(ch)
+            yield Recv(ch)
+
+        ex = extract_callable(entry)
+        assert not ex.giveups
+        assert _mnemonics(ex) == ["make-chan", "send", "send", "recv"]
+        # yield from is same-goroutine delegation: one body, no spawns.
+        bodies = {op.body.uid for op in ex.ops}
+        assert len(bodies) == 1
+
+    def test_delegated_ops_keep_their_own_sites(self):
+        def inner(ch):
+            yield Send(ch, 1)
+
+        def entry():
+            ch = yield MakeChan(1)
+            yield from inner(ch)
+
+        ex = extract_callable(entry)
+        send = next(op for op in ex.ops if op.mnemonic == "send")
+        make = next(op for op in ex.ops if op.mnemonic == "make-chan")
+        # The send is reported at inner's line, not at the yield from.
+        assert send.site.line != make.site.line
+        assert send.site.line == inner.__code__.co_firstlineno + 1
+
+
+class TestAliasing:
+    def test_channel_through_tuple_unpack(self):
+        def entry():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+            pair = (a, b)
+            first, second = pair
+            yield Send(first, 1)
+            yield Recv(second)
+
+        ex = extract_callable(entry)
+        assert not ex.giveups
+        send = next(op for op in ex.ops if op.mnemonic == "send")
+        recv = next(op for op in ex.ops if op.mnemonic == "recv")
+        assert send.operand is not recv.operand  # a vs b, not conflated
+
+    def test_channel_through_dict_constant_key(self):
+        def entry():
+            ch = yield MakeChan(2)
+            table = {"out": ch}
+            yield Send(table["out"], 1)
+            yield Recv(table["out"])
+
+        ex = extract_callable(entry)
+        assert not ex.giveups
+        send = next(op for op in ex.ops if op.mnemonic == "send")
+        recv = next(op for op in ex.ops if op.mnemonic == "recv")
+        assert send.operand is recv.operand
+
+    def test_channel_through_list_constant_index(self):
+        def entry():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+            chans = [a, b]
+            yield Send(chans[1], 1)
+
+        ex = extract_callable(entry)
+        assert not ex.giveups
+        send = next(op for op in ex.ops if op.mnemonic == "send")
+        # Index 1 resolves to b, the second channel created.
+        assert send.operand is sorted(ex.channels, key=lambda c: c.uid)[1]
+
+
+class TestHelperBuiltInstructions:
+    def test_non_generator_helper_returning_instruction(self):
+        def make_send(ch, value):
+            return Send(ch, value)
+
+        def entry():
+            ch = yield MakeChan(1)
+            yield make_send(ch, 42)
+
+        ex = extract_callable(entry)
+        assert not ex.giveups
+        assert "send" in _mnemonics(ex)
+
+    def test_helper_chain_with_constant_folding(self):
+        def capacity():
+            return 2 + 2
+
+        def entry():
+            ch = yield MakeChan(capacity())
+            yield Send(ch, 1)
+
+        ex = extract_callable(entry)
+        assert not ex.giveups
+        chan = next(iter(ex.channels))
+        assert chan.capacity == 4
+
+
+class TestSoundGiveUp:
+    def test_dynamic_channel_choice_gives_up(self):
+        def entry():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+            chans = [a, b]
+            pick = yield GetGlobal("which")
+            yield Send(chans[pick], 1)
+
+        ex = extract_callable(entry)
+        assert any("dynamic-channel-choice" in g.reason for g in ex.giveups)
+        report = analyze_callable(entry)
+        assert report.verdict == UNKNOWN
+        # The give-up suppresses leak rules on the aliased channels: no
+        # error may be invented for a channel the analysis lost track of.
+        assert not any(d.severity == "error" for d in report.diagnostics)
+
+    def test_unresolvable_spawn_gives_up(self):
+        def entry():
+            target = yield GetGlobal("handler")
+            yield Go(target)
+
+        ex = extract_callable(entry)
+        assert ex.giveups
+        assert analyze_callable(entry).verdict == UNKNOWN
+
+
+class TestLineNumbers:
+    def test_decorated_generator_keeps_absolute_lines(self, tmp_path):
+        # Decorators and nesting used to shift ast line numbers relative
+        # to the file; sites must stay absolute.
+        source = textwrap.dedent("""
+            from repro.runtime.instructions import MakeChan, Recv
+
+
+            def passthrough(fn):
+                return fn
+
+
+            @passthrough
+            def entry():
+                ch = yield MakeChan(0)
+                yield Recv(ch)
+        """).lstrip()
+        path = tmp_path / "decorated.py"
+        path.write_text(source)
+        from repro.staticcheck import analyze_file
+
+        reports = analyze_file(str(path))
+        assert len(reports) == 1
+        lines = source.splitlines()
+        recv_line = next(i for i, text in enumerate(lines, 1)
+                         if "Recv(ch)" in text)
+        diag = reports[0].diagnostics[0]
+        assert diag.rule == "recv-no-send"
+        assert diag.site.line == recv_line
+
+    def test_nested_generator_site_is_inner_line(self):
+        def outer():
+            def inner():
+                ch = yield MakeChan(0)
+                yield Recv(ch)
+
+            return inner
+
+        report = analyze_callable(outer())
+        diag = next(d for d in report.diagnostics
+                    if d.rule == "recv-no-send")
+        assert diag.site.line == outer.__code__.co_firstlineno + 3

@@ -1,0 +1,314 @@
+"""Per-rule minimal programs for the vet rule engine.
+
+One test per rule of the catalog (docs/STATIC_ANALYSIS.md): the smallest
+body that trips it, plus the discharged twin that must stay clean.
+Severity encodes the paper's taxonomy: ``error`` = blocks on every
+execution that reaches it, ``warning`` = leaks on some executions only
+(GOLF's flaky population).
+"""
+
+from repro.runtime.instructions import (
+    Close,
+    CondWait,
+    GetGlobal,
+    Go,
+    Lock,
+    MakeChan,
+    NewCond,
+    NewMutex,
+    NewSema,
+    NewWaitGroup,
+    Recv,
+    RecvCase,
+    Select,
+    SemAcquire,
+    SemRelease,
+    Send,
+    Unlock,
+    WgAdd,
+    WgDone,
+    WgWait,
+)
+from repro.staticcheck import analyze_callable
+from repro.staticcheck.model import CLEAN, LEAKY, SUSPECT
+
+
+def _rules(report, severity=None):
+    return sorted({d.rule for d in report.diagnostics
+                   if not d.suppressed
+                   and (severity is None or d.severity == severity)})
+
+
+def _recv_once(ch):
+    yield Recv(ch)
+
+
+def _send_once(ch):
+    yield Send(ch, 1)
+
+
+class TestChannelRules:
+    def test_send_no_recv(self):
+        def body():
+            ch = yield MakeChan(0)
+            yield Go(_send_once, ch)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["send-no-recv"]
+
+    def test_send_overflow_exact_arithmetic(self):
+        def body():
+            ch = yield MakeChan(1)
+            yield Go(_recv_once, ch)
+            yield Send(ch, 1)
+            yield Send(ch, 2)
+            yield Send(ch, 3)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["send-overflow"]
+
+    def test_send_absorbed_by_capacity_is_clean(self):
+        def body():
+            ch = yield MakeChan(2)
+            yield Send(ch, 1)
+            yield Send(ch, 2)
+
+        assert analyze_callable(body).verdict == CLEAN
+
+    def test_send_may_drop_when_receiver_races(self):
+        def poller(ch):
+            yield Select([RecvCase(ch)], default=True)
+
+        def body():
+            ch = yield MakeChan(0)
+            yield Go(poller, ch)
+            yield Send(ch, 1)
+
+        report = analyze_callable(body)
+        assert report.verdict == SUSPECT
+        assert _rules(report, "warning") == ["send-may-drop"]
+
+    def test_recv_no_send(self):
+        def body():
+            ch = yield MakeChan(0)
+            yield Recv(ch)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["recv-no-send"]
+
+    def test_recv_discharged_by_close_is_clean(self):
+        def body():
+            ch = yield MakeChan(0)
+            yield Close(ch)
+            yield Recv(ch)
+
+        assert analyze_callable(body).verdict == CLEAN
+
+    def test_recv_no_close_on_unbounded_drain(self):
+        def producer(ch):
+            yield Send(ch, 1)
+
+        def body():
+            ch = yield MakeChan(0)
+            yield Go(producer, ch)
+            while True:
+                yield Recv(ch)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["recv-no-close"]
+
+    def test_recv_may_starve_on_conditional_close(self):
+        def closer(ch):
+            mode = yield GetGlobal("mode")
+            if mode:
+                yield Close(ch)
+
+        def body():
+            ch = yield MakeChan(0)
+            yield Go(closer, ch)
+            yield Recv(ch)
+
+        report = analyze_callable(body)
+        assert report.verdict == SUSPECT
+        assert _rules(report, "warning") == ["recv-may-starve"]
+
+    def test_select_dead(self):
+        def body():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+            yield Select([RecvCase(a), RecvCase(b)])
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["select-dead"]
+
+    def test_select_with_live_case_is_clean(self):
+        def body():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+            yield Go(_send_once, a)
+            yield Select([RecvCase(a), RecvCase(b)])
+
+        assert analyze_callable(body).verdict == CLEAN
+
+    def test_nil_chan_op(self):
+        def body():
+            ch = None
+            yield Send(ch, 1)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["nil-chan-op"]
+
+
+class TestSyncRules:
+    def test_wg_imbalance(self):
+        def body():
+            wg = yield NewWaitGroup()
+            yield WgAdd(wg, 1)
+            yield WgWait(wg)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["wg-imbalance"]
+
+    def test_wg_balanced_is_clean(self):
+        def worker(wg):
+            yield WgDone(wg)
+
+        def body():
+            wg = yield NewWaitGroup()
+            yield WgAdd(wg, 1)
+            yield Go(worker, wg)
+            yield WgWait(wg)
+
+        assert analyze_callable(body).verdict == CLEAN
+
+    def test_mutex_held_forever(self):
+        def hog(mu):
+            yield Lock(mu)
+
+        def body():
+            mu = yield NewMutex()
+            yield Go(hog, mu)
+            yield Lock(mu)
+            yield Unlock(mu)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert "mutex-held-forever" in _rules(report, "error")
+
+    def test_lock_unlock_pairs_are_clean(self):
+        def polite(mu):
+            yield Lock(mu)
+            yield Unlock(mu)
+
+        def body():
+            mu = yield NewMutex()
+            yield Go(polite, mu)
+            yield Lock(mu)
+            yield Unlock(mu)
+
+        assert analyze_callable(body).verdict == CLEAN
+
+    def test_double_lock(self):
+        def body():
+            mu = yield NewMutex()
+            yield Lock(mu)
+            yield Lock(mu)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert "double-lock" in _rules(report, "error")
+
+    def test_cond_no_signal(self):
+        def body():
+            mu = yield NewMutex()
+            cv = yield NewCond(mu)
+            yield Lock(mu)
+            yield CondWait(cv)
+            yield Unlock(mu)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["cond-no-signal"]
+
+    def test_sema_no_release(self):
+        def body():
+            sem = yield NewSema(0)
+            yield SemAcquire(sem)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        assert _rules(report, "error") == ["sema-no-release"]
+
+    def test_sema_with_release_is_clean(self):
+        def releaser(sem):
+            yield SemRelease(sem)
+
+        def body():
+            sem = yield NewSema(0)
+            yield Go(releaser, sem)
+            yield SemAcquire(sem)
+
+        assert analyze_callable(body).verdict == CLEAN
+
+
+class TestTransitiveBlocking:
+    def test_blocked_wait_makes_downstream_recv_leak(self):
+        # The paper's wg_and_channel_pair: the waiter blocks on an
+        # imbalanced WaitGroup, so its receive never happens and the
+        # sender leaks transitively.
+        def waiter(wg, ch):
+            yield WgWait(wg)
+            yield Recv(ch)
+
+        def body():
+            wg = yield NewWaitGroup()
+            ch = yield MakeChan(0)
+            yield WgAdd(wg, 1)
+            yield Go(waiter, wg, ch)
+            yield Send(ch, 1)
+
+        report = analyze_callable(body)
+        assert report.verdict == LEAKY
+        rules = _rules(report, "error")
+        assert "wg-imbalance" in rules
+        assert "send-no-recv" in rules
+
+
+class TestProvenance:
+    def test_provenance_chain_spans_spawns(self):
+        def worker(ch):
+            yield Send(ch, 1)
+
+        def spawner(ch):
+            yield Go(worker, ch)
+
+        def body():
+            ch = yield MakeChan(0)
+            yield Go(spawner, ch)
+
+        report = analyze_callable(body)
+        diag = next(d for d in report.diagnostics
+                    if d.rule == "send-no-recv")
+        roles = [role for role, _site, _detail in diag.provenance]
+        # make-site -> spawn-site(s) -> blocked-send site, in order.
+        assert roles[0] == "make-chan"
+        assert roles[-1] == "send"
+        assert roles.count("go") == 2
+
+    def test_diagnostics_are_deterministically_sorted(self):
+        def body():
+            a = yield MakeChan(0)
+            b = yield MakeChan(0)
+            yield Recv(a)
+            yield Recv(b)
+
+        first = [d.format() for d in analyze_callable(body).diagnostics]
+        second = [d.format() for d in analyze_callable(body).diagnostics]
+        assert first == second
