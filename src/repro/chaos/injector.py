@@ -86,6 +86,11 @@ class FaultInjector:
     def _check_after_fault(self, record) -> None:
         for problem in self.rt.check_invariants():
             self.violations.append(f"after {record!r}: {problem}")
+        # With the incremental collector mid-mark, also verify the
+        # tricolor invariant the write barrier exists to maintain: no
+        # black object may point at a white one.
+        for problem in self.rt.collector.check_barrier_invariant():
+            self.violations.append(f"after {record!r}: {problem}")
 
     # -- fault implementations ----------------------------------------------
 
@@ -169,6 +174,42 @@ class FaultInjector:
                          "injected")
         return None
 
+    def _gc_budget_perturb(self, g: Goroutine, instr) -> None:
+        config = self.rt.config
+        if not config.incremental:
+            self.plan.record(self.rt.clock.now, FaultKind.GC_BUDGET_PERTURB,
+                             g.goid, "atomic gc mode", "rejected")
+            return None
+        mark = self.plan.rng.randrange(1, 33)
+        sweep = self.plan.rng.randrange(1, 33)
+        config.mark_budget = mark
+        config.sweep_budget = sweep
+        self.plan.record(self.rt.clock.now, FaultKind.GC_BUDGET_PERTURB,
+                         g.goid, f"mark={mark} sweep={sweep}", "injected")
+        return None
+
+    def _barrier_jitter(self, g: Goroutine, instr) -> None:
+        heap = self.rt.heap
+        if not self.rt.config.incremental:
+            self.plan.record(self.rt.clock.now, FaultKind.BARRIER_JITTER,
+                             g.goid, "atomic gc mode", "rejected")
+            return None
+        # One-shot: the next write-barrier shade jumps the virtual clock,
+        # modeling a fault landing inside the barrier itself.  The jitter
+        # is drawn now so the trace is deterministic even if no shade
+        # ever happens.
+        jitter = self.plan.jitter_ns()
+        clock = self.rt.clock
+
+        def hook(src, obj):
+            heap.barrier_hook = None
+            clock.advance(jitter)
+
+        heap.barrier_hook = hook
+        self.plan.record(self.rt.clock.now, FaultKind.BARRIER_JITTER,
+                         g.goid, f"armed +{jitter}ns", "injected")
+        return None
+
     _DISPATCH = {
         FaultKind.PANIC_SELF: _panic_self,
         FaultKind.PANIC_BLOCKED: _panic_blocked,
@@ -177,4 +218,6 @@ class FaultInjector:
         FaultKind.GC_PERTURB: _gc_perturb,
         FaultKind.CLOCK_JITTER: _clock_jitter,
         FaultKind.REUSE_PRESSURE: _reuse_pressure,
+        FaultKind.GC_BUDGET_PERTURB: _gc_budget_perturb,
+        FaultKind.BARRIER_JITTER: _barrier_jitter,
     }

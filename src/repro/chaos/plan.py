@@ -37,6 +37,12 @@ class FaultKind:
     CLOCK_JITTER = "clock-jitter"
     #: Spawn short-lived churn goroutines to cycle the ``*g`` free pool.
     REUSE_PRESSURE = "reuse-pressure"
+    #: Shrink the incremental collector's mark/sweep budgets to tiny
+    #: values (maximally fragmented phases; rejected in atomic mode).
+    GC_BUDGET_PERTURB = "gc-budget-perturb"
+    #: Arm a one-shot clock jitter on the next write-barrier shade
+    #: (a fault landing *inside* the barrier; rejected in atomic mode).
+    BARRIER_JITTER = "barrier-jitter"
     #: Downstream dependency fails fast (service layer polls for this).
     DOWNSTREAM_FAIL = "downstream-fail"
     #: Downstream dependency responds slowly (service layer polls).
@@ -47,6 +53,7 @@ class FaultKind:
     SCHEDULER_KINDS = (
         PANIC_SELF, PANIC_BLOCKED, SPURIOUS_WAKE, FORCE_GC,
         GC_PERTURB, CLOCK_JITTER, REUSE_PRESSURE,
+        GC_BUDGET_PERTURB, BARRIER_JITTER,
     )
 
 

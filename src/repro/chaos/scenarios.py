@@ -115,6 +115,26 @@ SCENARIOS: Dict[str, Scenario] = {
         },
         max_faults=15,
     ),
+    # Incremental-GC phase chaos: faults land at write-barrier shades
+    # and phase boundaries — forced cycles while one is in flight,
+    # budgets shrunk so phases fragment maximally, jitter inside the
+    # barrier, panics/wakes perturbing the candidate set mid-mark.  The
+    # injector checks the tricolor invariant after every fault; under
+    # --gc-mode atomic the gc-specific kinds are rejected (still
+    # deterministically traced).
+    "gc-phase": Scenario(
+        "gc-phase",
+        rate=0.02,
+        weights={
+            FaultKind.FORCE_GC: 3,
+            FaultKind.GC_BUDGET_PERTURB: 3,
+            FaultKind.BARRIER_JITTER: 2,
+            FaultKind.GC_PERTURB: 1,
+            FaultKind.PANIC_BLOCKED: 1,
+            FaultKind.SPURIOUS_WAKE: 1,
+        },
+        max_faults=20,
+    ),
     # Virtual-time jumps: timers fire in bursts, deadlines expire early
     # relative to instruction progress.
     "clock-jitter": Scenario(

@@ -20,6 +20,7 @@ import sys
 import time
 from typing import Callable, Dict, Optional
 
+from repro.core.config import GC_MODES, set_default_gc_mode
 from repro.corpus.generator import CorpusConfig
 from repro.experiments import (
     format_figure1,
@@ -204,6 +205,33 @@ def _cmd_vet(args) -> str:
     return text
 
 
+def _cmd_gc_equiv(args) -> str:
+    """The atomic-vs-incremental equivalence oracle (see docs/GC.md).
+
+    Runs every microbenchmark (buggy and fixed variants) under both
+    ``--gc-mode`` values and requires identical leak reports: same
+    goroutines, same detection cycles, byte-identical report logs, and
+    matching GC cycle counts and pause totals.  Any divergence is a
+    correctness bug in the incremental collector; the process exits 1
+    with the mismatches on stderr.
+    """
+    import json
+
+    from repro.microbench.equivalence import run_equivalence_oracle
+
+    result = run_equivalence_oracle(procs=args.procs, seed=args.seed)
+    artifact_dir = args.json_dir
+    os.makedirs(artifact_dir, exist_ok=True)
+    path = os.path.join(
+        artifact_dir, f"gc-equiv-p{args.procs}-s{args.seed}.json")
+    with open(path, "w") as fh:
+        json.dump(result.to_dict(), fh, indent=2)
+    text = result.format() + f"\n  artifact        : {path}"
+    if not result.clean:
+        raise SystemExit(text + "\ngc equivalence FAILED")
+    return text
+
+
 def _cmd_ablations(args) -> str:
     sections = [
         ("fixpoint strategy", FixpointAblation().run().format()),
@@ -227,6 +255,7 @@ _COMMANDS: Dict[str, Callable] = {
     "chaos": _cmd_chaos,
     "obs": _cmd_obs,
     "vet": _cmd_vet,
+    "gc-equiv": _cmd_gc_equiv,
 }
 
 
@@ -250,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--out-dir", default=None,
                         help="directory for telemetry artifacts "
                              "(default benchmarks/out)")
+    common.add_argument("--gc-mode", default=None,
+                        choices=sorted(GC_MODES),
+                        help="collector to use for every runtime the "
+                             "command builds: 'atomic' (single STW "
+                             "cycle) or 'incremental' (scheduler-"
+                             "interleaved phase machine)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add(name: str, **kwargs) -> argparse.ArgumentParser:
@@ -336,6 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent fingerprint store for cross-run "
                         "leak dedup")
 
+    p = add("gc-equiv", help="atomic-vs-incremental GC equivalence "
+                             "oracle over the microbench registry; "
+                             "exits non-zero on any divergence")
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json-dir", default="benchmarks/out",
+                   help="directory for the oracle JSON artifact")
+
     p = add("all", help="regenerate everything")
     p.add_argument("--runs", type=int, default=30)
     p.add_argument("--duration", type=int, default=15)
@@ -357,6 +400,11 @@ def _archive(out_dir: Optional[str], name: str, text: str) -> None:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "gc_mode", None):
+        # Experiments build GolfConfig() internally, which resolves the
+        # module-level default, so one flag switches every runtime the
+        # command creates (chaos campaigns included).
+        set_default_gc_mode(args.gc_mode)
     hub = None
     if getattr(args, "metrics", False) or getattr(args, "trace", False):
         from repro.telemetry import (
@@ -372,10 +420,11 @@ def main(argv=None) -> int:
         # this hub (Runtime.__init__ auto-attaches the default hub).
         set_default_hub(hub)
     if args.command == "all":
-        # tester, chaos, obs, and vet have their own flags and fail
-        # semantics; they run as explicit subcommands only.
+        # tester, chaos, obs, vet, and gc-equiv have their own flags and
+        # fail semantics; they run as explicit subcommands only.
         commands = [c for c in _COMMANDS
-                    if c not in ("tester", "chaos", "obs", "vet")]
+                    if c not in ("tester", "chaos", "obs", "vet",
+                                 "gc-equiv")]
     else:
         commands = [args.command]
     try:

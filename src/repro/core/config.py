@@ -4,6 +4,31 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+#: Valid collection-cycle execution strategies (see ``docs/GC.md``):
+#: ``atomic`` runs the whole cycle inside one blocking call, while
+#: ``incremental`` runs the phase machine with scheduler-interleaved
+#: MARKING/SWEEPING steps and the Dijkstra write barrier.
+GC_MODES = ("atomic", "incremental")
+
+_default_gc_mode = "atomic"
+
+
+def set_default_gc_mode(mode: str) -> None:
+    """Set the process-wide default for ``GolfConfig.gc_mode``.
+
+    The CLI's ``--gc-mode`` flag threads through here so experiments that
+    build their configs internally still pick up the requested collector
+    without plumbing a parameter through every driver.
+    """
+    global _default_gc_mode
+    if mode not in GC_MODES:
+        raise ValueError(f"gc_mode must be one of {GC_MODES}, got {mode!r}")
+    _default_gc_mode = mode
+
+
+def get_default_gc_mode() -> str:
+    return _default_gc_mode
+
 
 class GolfConfig:
     """Tunables for the collector and the GOLF detector.
@@ -46,6 +71,16 @@ class GolfConfig:
             *trusted*: a wrong hint can violate soundness (the runtime
             will raise ``SchedulerError`` if that ever manifests).
             Collection is unaffected — hinted globals stay in memory.
+        gc_mode: ``"atomic"`` (one blocking cycle, the original design)
+            or ``"incremental"`` (phase machine: STW mark setup →
+            concurrent bounded marking with a Dijkstra write barrier →
+            STW mark termination → concurrent bounded sweeping).  ``None``
+            takes the process default (:func:`set_default_gc_mode`).
+            Both modes emit identical leak reports for a fixed
+            ``(program, procs, seed)`` — the equivalence oracle in CI.
+        mark_budget: work units (edges + scan work) drained per
+            incremental marking step.
+        sweep_budget: objects examined per incremental sweeping step.
     """
 
     def __init__(
@@ -63,11 +98,21 @@ class GolfConfig:
         ns_per_reclaim: int = 4_000,
         on_report: Optional[Callable[..., None]] = None,
         dead_global_hints: Optional[set] = None,
+        gc_mode: Optional[str] = None,
+        mark_budget: int = 256,
+        sweep_budget: int = 256,
     ):
         if detect_every < 1:
             raise ValueError("detect_every must be >= 1")
         if gogc <= 0:
             raise ValueError("gogc must be positive")
+        if gc_mode is None:
+            gc_mode = _default_gc_mode
+        if gc_mode not in GC_MODES:
+            raise ValueError(
+                f"gc_mode must be one of {GC_MODES}, got {gc_mode!r}")
+        if mark_budget < 1 or sweep_budget < 1:
+            raise ValueError("mark_budget and sweep_budget must be >= 1")
         self.golf = golf
         self.reclaim = reclaim
         self.detect_every = detect_every
@@ -81,6 +126,9 @@ class GolfConfig:
         self.ns_per_reclaim = ns_per_reclaim
         self.on_report = on_report
         self.dead_global_hints = frozenset(dead_global_hints or ())
+        self.gc_mode = gc_mode
+        self.mark_budget = mark_budget
+        self.sweep_budget = sweep_budget
 
     @classmethod
     def baseline(cls, **overrides) -> "GolfConfig":
@@ -99,3 +147,7 @@ class GolfConfig:
     @property
     def mode(self) -> str:
         return "golf" if self.golf else "baseline"
+
+    @property
+    def incremental(self) -> bool:
+        return self.gc_mode == "incremental"

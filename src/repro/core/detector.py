@@ -150,7 +150,21 @@ def _detect_restart(heap: Heap, candidates: List[Goroutine],
     result.mark_iterations = 1
     result.mark_work_units = work
     result.objects_marked = marked
+    result.deadlocked = expand_liveness_fixpoint(heap, candidates, result)
 
+
+def expand_liveness_fixpoint(heap: Heap, candidates: List[Goroutine],
+                             result: DetectionResult) -> List[Goroutine]:
+    """Root-set expansion to fixpoint over still-masked candidates.
+
+    Assumes an initial mark pass has already run (full roots in the
+    atomic cycle; the concurrent MARKING phase plus the termination
+    rescan in the incremental cycle — both paths share this exact loop,
+    so the two ``--gc-mode`` values render identical verdicts).  Marks
+    the subgraphs of goroutines proven live, accumulates iteration/work/
+    check counters into ``result``, and returns the goroutines left
+    masked: the deadlocked set.
+    """
     pending = list(candidates)
     while True:
         newly_live = []
@@ -170,7 +184,26 @@ def _detect_restart(heap: Heap, candidates: List[Goroutine],
         result.mark_work_units += work
         result.objects_marked += marked
         pending = still_pending
-    result.deadlocked = pending
+    return pending
+
+
+def reexpand_on_wake(heap: Heap, g: Goroutine,
+                     gray: List[HeapObject]) -> None:
+    """Re-admit a masked candidate that a mutator woke mid-cycle.
+
+    The paper's wake-during-detection case: while the incremental
+    collector is concurrently marking, a live goroutine may complete the
+    operation a masked candidate is blocked on and wake it.  The wake
+    itself is the liveness proof — only a goroutine that could reach the
+    blocking object can perform it — so the candidate rejoins the root
+    set: unmask, shade its descriptor, and let the marker trace its
+    stack.  This is the fixpoint's conclusion arriving early, never a
+    soundness hazard; a wake that reaches a goroutine the detector
+    already *reported* still trips ``SchedulerError``.
+    """
+    g.masked = False
+    if heap.mark(g):
+        gray.append(g)
 
 
 def _detect_on_the_fly(heap: Heap, candidates: List[Goroutine],

@@ -2,6 +2,8 @@
 
 from repro.gc.collector import Collector
 from repro.gc.heap import Heap
+from repro.gc.phases import GCPhase
 from repro.gc.stats import CycleStats, GCStats, MemStats
 
-__all__ = ["Collector", "Heap", "CycleStats", "GCStats", "MemStats"]
+__all__ = ["Collector", "GCPhase", "Heap", "CycleStats", "GCStats",
+           "MemStats"]

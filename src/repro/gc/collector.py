@@ -8,6 +8,23 @@ liveness fixpoint, unmarked user-blocked goroutines are reported as
 partial deadlocks, and recovery proceeds under the two-cycle finalizer
 protocol of :mod:`repro.core.recovery`.
 
+Two execution modes (``GolfConfig.gc_mode``):
+
+- ``atomic`` — the historical implementation: one call to
+  :meth:`Collector.collect` performs the entire cycle while the world is
+  logically stopped.
+- ``incremental`` — the same cycle decomposed into the explicit phase
+  machine of :mod:`repro.gc.phases`.  Only the two STW windows
+  (MARK_SETUP, MARK_TERMINATION) pause the mutator; MARKING and SWEEPING
+  advance in bounded work budgets driven by the scheduler between
+  goroutine time slices, with a Dijkstra insertion write barrier
+  (:meth:`repro.gc.heap.Heap.write_barrier`) keeping concurrent marking
+  sound.  Both modes share the liveness fixpoint
+  (:func:`repro.core.detector.expand_liveness_fixpoint`) and the cost
+  model below, so they render identical deadlock verdicts and identical
+  virtual-time totals on quiescent cycles — the equivalence oracle in
+  ``tests/test_gc_equivalence.py``.
+
 Simulated cost model (drives the paper's Table 2 / Figure 4 metrics):
 
 - *marking clock* = traversed references x ``ns_per_mark_edge``.  Marking
@@ -16,24 +33,28 @@ Simulated cost model (drives the paper's Table 2 / Figure 4 metrics):
 - *pause* = two stop-the-world windows (``stw_base_ns`` each) plus, under
   GOLF, the liveness checks and forced shutdowns that run under
   stop-the-world conditions.  The pause advances the virtual clock and
-  stalls in-flight instructions.
+  stalls in-flight instructions.  Incremental mode charges the setup
+  window (base + reclaims) and the termination window (base + liveness
+  checks) separately; their sum equals the atomic pause.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core import detector as detector_mod
 from repro.core import masking, recovery
 from repro.core.config import GolfConfig
 from repro.core.reports import ReportLog
 from repro.gc.heap import Heap
-from repro.gc.marking import mark_from
+from repro.gc.marking import drain_budget, mark_from, push_roots
+from repro.gc.phases import GCPhase
 from repro.gc.stats import CycleStats, GCStats
 from repro.runtime.clock import Clock
 from repro.runtime.goroutine import Goroutine, GStatus
+from repro.runtime.objects import HeapObject
 from repro.runtime.scheduler import Scheduler
-from repro.runtime.sync import Pool
+from repro.runtime.waitreason import WaitReason
 
 
 class Collector:
@@ -49,17 +70,44 @@ class Collector:
         self.stats = GCStats()
         self._next_target = config.min_heap_bytes
         self._pending_reclaim: List[Goroutine] = []
+        # Incremental phase-machine state (quiescent between cycles).
+        self.phase = GCPhase.IDLE
+        self._gray: List[HeapObject] = []
+        self._cycle: Optional[CycleStats] = None
+        self._detect_now = False
+        self._candidates: List[Goroutine] = []
+        self._sweep_list: List[HeapObject] = []
+        self._sweep_pos = 0
+        self._finalizer_thunks: List[Callable[[], None]] = []
+        self._shades_at_setup = 0
+        # runtime.GC callers parked until a full cycle completes: the
+        # current cycle's waiters, plus those queued for the next one.
+        self._gc_waiters: List[Goroutine] = []
+        self._queued_waiters: List[Goroutine] = []
+        self._gc_requested = False
         # Wire the runtime hooks.
         sched.gc_hook = self.collect
         sched.alloc_hook = self.maybe_collect
         if config.golf:
             sched.mask_key = masking.mask_addr
+        if config.incremental:
+            sched.gc_step_hook = self.gc_step
+            sched.gc_request_hook = self.request_gc
+            sched.gc_wake_hook = self.on_masked_wake
 
     # -- pacing -----------------------------------------------------------
 
     def maybe_collect(self) -> Optional[CycleStats]:
         """Allocation hook: collect when the heap passes the GOGC target."""
         if self.heap.live_bytes >= self._next_target:
+            if self.config.incremental:
+                # Kick off a cycle; the scheduler's gc_step_hook advances
+                # it between time slices.  If one is already in flight,
+                # the pacer is satisfied by its completion (the target is
+                # recomputed then).
+                if self.phase is GCPhase.IDLE:
+                    self._begin_cycle("pacer")
+                return None
             return self.collect(reason="pacer")
         return None
 
@@ -81,7 +129,27 @@ class Collector:
     # -- the cycle ----------------------------------------------------------
 
     def collect(self, reason: str = "forced") -> CycleStats:
-        """Run one full collection cycle."""
+        """Run one full collection cycle synchronously.
+
+        In incremental mode this first drives any in-flight cycle to
+        completion (its stats are recorded normally), then runs a fresh
+        full cycle through the phase machine without yielding to the
+        mutator — the synchronous entry point (``rt.gc()``, chaos-forced
+        GC) still observes complete-cycle semantics.
+        """
+        if not self.config.incremental:
+            return self._collect_atomic(reason)
+        while self.phase is not GCPhase.IDLE:
+            self.gc_step()
+        self._begin_cycle(reason)
+        cs = self._cycle
+        while self.phase is not GCPhase.IDLE:
+            self.gc_step()
+        assert cs is not None
+        return cs
+
+    def _collect_atomic(self, reason: str) -> CycleStats:
+        """The atomic cycle: everything under one logical STW."""
         cycle_no = self.stats.num_gc + 1
         cs = CycleStats(cycle_no, reason, self.config.mode, self.clock.now)
         cs.heap_bytes_before = self.heap.live_bytes
@@ -90,10 +158,11 @@ class Collector:
         self.heap.begin_cycle()
 
         # sync.Pool integration: each cycle ages the pools' caches
-        # (primary -> victim -> released), as Go does under STW.
-        for obj in self.heap.objects():
-            if isinstance(obj, Pool):
-                obj.on_gc()
+        # (primary -> victim -> released), as Go does under STW.  Pools
+        # register themselves on the heap's aging registry at allocation
+        # time, so this no longer scans the whole heap.
+        for obj in self.heap.gc_aged_objects():
+            obj.on_gc()  # type: ignore[attr-defined]
 
         # Second half of the two-cycle recovery protocol: shut down the
         # goroutines reported (and finalizer-cleared) last detection.
@@ -126,34 +195,22 @@ class Collector:
             cs.mark_work_units * self.config.ns_per_mark_edge
             + cs.mark_iterations * self.config.ns_per_mark_iteration
         )
-        pause = 2 * self.config.stw_base_ns
+        cs.pause_setup_ns = self.config.stw_base_ns
+        cs.pause_termination_ns = self.config.stw_base_ns
         if detect_now:
-            pause += cs.liveness_checks * self.config.ns_per_liveness_check
-            pause += cs.goroutines_reclaimed * self.config.ns_per_reclaim
-        cs.pause_ns = pause
+            cs.pause_setup_ns += (
+                cs.goroutines_reclaimed * self.config.ns_per_reclaim)
+            cs.pause_termination_ns += (
+                cs.liveness_checks * self.config.ns_per_liveness_check)
         # Marking runs concurrently with the mutator in Go but still
         # consumes CPU; approximate its mutator impact by spreading the
         # marking clock across the virtual processors.
         mark_stall = cs.mark_clock_ns // max(1, len(self.sched.procs))
-        total_stall = pause + mark_stall
+        total_stall = cs.pause_ns + mark_stall
         self.clock.advance(total_stall)
         self.sched.stall_all(total_stall)
 
-        cs.heap_bytes_after = self.heap.live_bytes
-        cs.heap_objects_after = self.heap.live_objects
-        self._next_target = max(
-            self.config.min_heap_bytes,
-            self.heap.live_bytes * (100 + self.config.gogc) // 100,
-        )
-        self.stats.record(cs)
-        if self.sched.tracer is not None:
-            self.sched.tracer.emit(
-                "gc-cycle", 0,
-                f"#{cs.cycle} {cs.mode} iters={cs.mark_iterations} "
-                f"work={cs.mark_work_units} swept={cs.swept_bytes}B "
-                f"deadlocks={cs.deadlocks_detected}")
-        if self.sched.telemetry is not None:
-            self.sched.telemetry.on_gc_cycle(cs, self.sched, self.heap)
+        self._finish_cycle_stats(cs)
         return cs
 
     def _baseline_cycle(self, cs: CycleStats) -> None:
@@ -186,8 +243,24 @@ class Collector:
                 self.heap, [self.heap.globals], respect_masks=True)
             cs.mark_work_units += extra_work
 
-        for g in det.deadlocked:
-            report = self.reports.add(g, cs.cycle, self.clock.now)
+        self._report_and_recover(cs, det.deadlocked)
+        masking.unmask_all(self.sched.allgs)
+
+    def _report_and_recover(self, cs: CycleStats,
+                            deadlocked: List[Goroutine]) -> None:
+        """Report detected partial deadlocks and start recovery.
+
+        Shared by both gc modes: the report log entries, callbacks,
+        finalizer keep-alive decision, and PENDING_RECLAIM scheduling are
+        byte-for-byte identical regardless of how marking was driven.
+        """
+        for g in deadlocked:
+            # Timestamp with the cycle's start: in atomic mode the clock
+            # has not advanced yet at this point, so this is clock.now;
+            # in incremental mode the setup window has already elapsed,
+            # and anchoring to the start keeps report logs byte-identical
+            # across the two modes (the equivalence oracle checks this).
+            report = self.reports.add(g, cs.cycle, cs.started_at_ns)
             g.reported = True
             if self.sched.tracer is not None:
                 self.sched.tracer.emit(
@@ -214,4 +287,310 @@ class Collector:
                 self._pending_reclaim.append(g)
             if self.sched.telemetry is not None:
                 self.sched.telemetry.on_leak_report(report, kept=kept)
-        masking.unmask_all(self.sched.allgs)
+
+    def _finish_cycle_stats(self, cs: CycleStats) -> None:
+        """Record after-stats, retarget the pacer, and publish the cycle."""
+        cs.heap_bytes_after = self.heap.live_bytes
+        cs.heap_objects_after = self.heap.live_objects
+        self._next_target = max(
+            self.config.min_heap_bytes,
+            self.heap.live_bytes * (100 + self.config.gogc) // 100,
+        )
+        self.stats.record(cs)
+        if self.sched.tracer is not None:
+            self.sched.tracer.emit(
+                "gc-cycle", 0,
+                f"#{cs.cycle} {cs.mode} iters={cs.mark_iterations} "
+                f"work={cs.mark_work_units} swept={cs.swept_bytes}B "
+                f"deadlocks={cs.deadlocks_detected}")
+        if self.sched.telemetry is not None:
+            self.sched.telemetry.on_gc_cycle(cs, self.sched, self.heap)
+
+    # -- incremental phase machine ----------------------------------------
+
+    def _transition(self, phase: GCPhase) -> None:
+        self.phase = phase
+        telemetry = self.sched.telemetry
+        if telemetry is not None:
+            cycle_no = self._cycle.cycle if self._cycle is not None else 0
+            telemetry.on_gc_phase(phase.value, cycle_no)
+
+    def _begin_cycle(self, reason: str) -> None:
+        """MARK_SETUP: the first STW window of an incremental cycle.
+
+        Ages pools, runs pending reclaims, snapshots the detection
+        candidates and masks them, shades the root set gray, and arms the
+        write barrier before handing the world back to the mutator.
+        """
+        assert self.phase is GCPhase.IDLE, self.phase
+        cycle_no = self.stats.num_gc + 1
+        cs = CycleStats(cycle_no, reason, self.config.mode, self.clock.now)
+        cs.heap_bytes_before = self.heap.live_bytes
+        cs.heap_objects_before = self.heap.live_objects
+        self._cycle = cs
+        self._transition(GCPhase.MARK_SETUP)
+
+        self.heap.begin_cycle()
+        for obj in self.heap.gc_aged_objects():
+            obj.on_gc()  # type: ignore[attr-defined]
+
+        telemetry = self.sched.telemetry
+        for g in self._pending_reclaim:
+            if telemetry is not None:
+                telemetry.on_reclaim(g)
+            self.sched.reclaim_deadlocked(g)
+            cs.goroutines_reclaimed += 1
+        self._pending_reclaim = []
+
+        self._detect_now = (
+            self.config.golf
+            and (cycle_no - 1) % self.config.detect_every == 0
+        )
+        self._gray = []
+        self._shades_at_setup = self.heap.barrier_shades
+        if self._detect_now:
+            # Candidates are snapshotted under STW: goroutines that block
+            # detectably *after* setup were woken-then-blocked by live
+            # mutators and are shaded by the barrier/rescan instead.
+            self._candidates = [
+                g for g in self.sched.allgs
+                if g.status == GStatus.WAITING and g.is_blocked_detectably
+            ]
+            masking.mask_blocked_goroutines(self.sched.allgs)
+            roots = detector_mod.initial_roots(
+                self.heap, self.sched.allgs, self.config.dead_global_hints)
+        else:
+            self._candidates = []
+            roots = [self.heap.globals] + [
+                g for g in self.sched.allgs if g.status != GStatus.DEAD
+            ]
+        roots.extend(self.sched.inflight_heap_refs())
+        work, _ = push_roots(self.heap, roots, self._gray,
+                             respect_masks=self._detect_now)
+        cs.mark_iterations = 1
+        cs.mark_work_units += work
+        self.heap.enable_barrier(self._gray)
+
+        pause = self.config.stw_base_ns
+        if self._detect_now:
+            # Reclaims are a detection-cycle cost in the atomic model;
+            # charge them identically so pause totals line up.
+            pause += cs.goroutines_reclaimed * self.config.ns_per_reclaim
+        cs.pause_setup_ns = pause
+        self.clock.advance(pause)
+        self.sched.stall_all(pause)
+        self._transition(GCPhase.MARKING)
+
+    def gc_step(self) -> bool:
+        """Advance the in-flight cycle by one bounded unit of work.
+
+        Called by the scheduler between goroutine time slices (and by
+        :meth:`collect` to drive a cycle synchronously).  Returns True
+        while a cycle remains in flight.  Steps consume no virtual time:
+        marking/sweeping CPU cost is charged as the termination-window
+        mark stall, exactly as in atomic mode, keeping the two modes'
+        clocks in lockstep.
+        """
+        if self.phase is GCPhase.MARKING:
+            cs = self._cycle
+            assert cs is not None
+            cs.mark_steps += 1
+            work, _ = drain_budget(
+                self.heap, self._gray, self.config.mark_budget,
+                respect_masks=self._detect_now)
+            cs.mark_work_units += work
+            if not self._gray:
+                self._mark_termination()
+        elif self.phase is GCPhase.SWEEPING:
+            self._sweep_step()
+        return self.phase is not GCPhase.IDLE
+
+    def _mark_termination(self) -> None:
+        """MARK_TERMINATION: the second STW window.
+
+        Rescans barrier-less roots (goroutine stacks, in-flight
+        instruction operands), runs the liveness fixpoint and
+        report/recovery when this is a detection cycle, charges the
+        termination pause plus the spread marking clock, and freezes the
+        sweep candidate list.
+        """
+        cs = self._cycle
+        assert cs is not None
+        self._transition(GCPhase.MARK_TERMINATION)
+        self.heap.disable_barrier()
+
+        # Goroutine stacks carry no write barrier (Go re-examines stacks
+        # at mark termination): re-traverse every unmasked live
+        # goroutine's stack and the operands in flight on virtual
+        # processors, catching stores the concurrent phase missed.
+        # Charged to rescan_work_units, not the marking clock — Go does
+        # this inside the termination window, and keeping it off the
+        # clock preserves virtual-time parity with atomic mode.
+        rescan_roots: List[HeapObject] = []
+        for g in self.sched.allgs:
+            if g.status == GStatus.DEAD or g.masked:
+                continue
+            rescan_roots.extend(g.stack_heap_refs())
+        rescan_roots.extend(self.sched.inflight_heap_refs())
+        rescan_work, _ = mark_from(
+            self.heap, rescan_roots, respect_masks=self._detect_now)
+        cs.rescan_work_units += rescan_work
+
+        if self._detect_now:
+            det = detector_mod.DetectionResult()
+            pending = [g for g in self._candidates if g.masked]
+            deadlocked = detector_mod.expand_liveness_fixpoint(
+                self.heap, pending, det)
+            cs.mark_iterations += det.mark_iterations
+            cs.mark_work_units += det.mark_work_units
+            cs.liveness_checks += det.liveness_checks
+            if self.config.dead_global_hints:
+                extra_work, _ = mark_from(
+                    self.heap, [self.heap.globals], respect_masks=True)
+                cs.mark_work_units += extra_work
+            self._report_and_recover(cs, deadlocked)
+            masking.unmask_all(self.sched.allgs)
+        self._candidates = []
+
+        cs.mark_clock_ns = (
+            cs.mark_work_units * self.config.ns_per_mark_edge
+            + cs.mark_iterations * self.config.ns_per_mark_iteration
+        )
+        pause = self.config.stw_base_ns
+        if self._detect_now:
+            pause += cs.liveness_checks * self.config.ns_per_liveness_check
+        cs.pause_termination_ns = pause
+        mark_stall = cs.mark_clock_ns // max(1, len(self.sched.procs))
+        total_stall = pause + mark_stall
+        self.clock.advance(total_stall)
+        self.sched.stall_all(total_stall)
+
+        # Freeze the sweep candidate list under STW: everything still
+        # white is unreachable now and cannot be resurrected (allocation
+        # is black until the next cycle's epoch bump), so sweeping it
+        # lazily is safe.
+        self._sweep_list = [
+            obj for obj in self.heap.objects()
+            if not self.heap.is_marked(obj) and not self.heap.is_pinned(obj)
+        ]
+        self._sweep_pos = 0
+        self._finalizer_thunks = []
+        self._transition(GCPhase.SWEEPING)
+
+    def _sweep_step(self) -> None:
+        """One bounded SWEEPING step over the frozen candidate list."""
+        cs = self._cycle
+        assert cs is not None
+        cs.sweep_steps += 1
+        budget = self.config.sweep_budget
+        examined = 0
+        while self._sweep_pos < len(self._sweep_list) and examined < budget:
+            obj = self._sweep_list[self._sweep_pos]
+            self._sweep_pos += 1
+            examined += 1
+            freed, freed_bytes, thunk = self.heap.sweep_one(obj)
+            if freed:
+                cs.swept_objects += 1
+                cs.swept_bytes += freed_bytes
+            elif thunk is not None:
+                cs.finalizers_queued += 1
+                self._finalizer_thunks.append(thunk)
+        if self._sweep_pos >= len(self._sweep_list):
+            self._complete_cycle()
+
+    def _complete_cycle(self) -> None:
+        """Sweep done: run finalizers, publish stats, wake RunGC waiters."""
+        cs = self._cycle
+        assert cs is not None
+        for thunk in self._finalizer_thunks:
+            thunk()
+        self._finalizer_thunks = []
+        self._sweep_list = []
+        self._sweep_pos = 0
+        cs.barrier_shades = self.heap.barrier_shades - self._shades_at_setup
+        self._finish_cycle_stats(cs)
+        self._transition(GCPhase.IDLE)
+        self._cycle = None
+
+        waiters, self._gc_waiters = self._gc_waiters, []
+        for g in waiters:
+            # Guard against chaos panics or reclaims having moved the
+            # waiter on: only wake goroutines still parked on this cycle.
+            if (g.status == GStatus.WAITING
+                    and g.wait_reason is WaitReason.GC_WAIT):
+                self.sched.wake(g)
+        if self._gc_requested or self._queued_waiters:
+            self._gc_requested = False
+            self._gc_waiters = self._queued_waiters
+            self._queued_waiters = []
+            self._begin_cycle("forced")
+
+    def request_gc(self, g: Goroutine) -> bool:
+        """``runtime.GC()`` in incremental mode.
+
+        Returns True when the caller was enrolled as a cycle waiter (the
+        executor parks it with ``WaitReason.GC_WAIT`` until the cycle
+        completes — Go's "wait for GC cycle"); False in atomic mode, where
+        the executor falls back to the blocking ``gc_hook``.  A request
+        arriving while a cycle is in flight waits for the *next* full
+        cycle: ``runtime.GC`` must observe a complete mark from its call
+        point.
+        """
+        if not self.config.incremental:
+            return False
+        if self.phase is GCPhase.IDLE:
+            self._gc_waiters.append(g)
+            self._begin_cycle("forced")
+        else:
+            self._gc_requested = True
+            self._queued_waiters.append(g)
+        return True
+
+    def on_masked_wake(self, g: Goroutine) -> None:
+        """Scheduler hook: a masked candidate is being woken mid-cycle.
+
+        While a detection cycle is concurrently marking, a live goroutine
+        may complete the operation a candidate blocks on; the wake itself
+        proves liveness, so the candidate rejoins the root set (GOLF root
+        re-expansion).  Outside MARKING the mask is simply dropped — the
+        fixpoint owning it has already concluded or not yet begun.
+        """
+        if (self.phase is GCPhase.MARKING and self._detect_now
+                and self._cycle is not None):
+            detector_mod.reexpand_on_wake(self.heap, g, self._gray)
+            self._cycle.root_reexpansions += 1
+        else:
+            g.masked = False
+
+    def check_barrier_invariant(self) -> List[str]:
+        """Verify the tricolor invariant during concurrent marking.
+
+        During MARKING every black object (marked and not on the gray
+        queue) must have no white heap referent — each referent is
+        marked, a masked goroutine descriptor (liveness flows only via
+        the detector's fixpoint), or off-heap.  Goroutine descriptors are
+        exempt: their stacks mutate without a barrier and are rescanned
+        at mark termination.  Returns human-readable violations; empty
+        when sound.  The chaos harness calls this after every injected
+        fault.
+        """
+        problems: List[str] = []
+        if self.phase is not GCPhase.MARKING:
+            return problems
+        gray_ids = {id(o) for o in self._gray}
+        for obj in self.heap.objects():
+            if not self.heap.is_marked(obj) or id(obj) in gray_ids:
+                continue
+            if obj.kind == "goroutine":
+                continue
+            for ref in obj.referents():
+                if ref.kind == "goroutine" and getattr(ref, "masked", False):
+                    continue
+                if not self.heap.contains(ref):
+                    continue
+                if not self.heap.is_marked(ref):
+                    problems.append(
+                        f"barrier invariant: black {obj.kind} "
+                        f"0x{obj.addr:x} -> white {ref.kind} "
+                        f"0x{ref.addr:x}")
+        return problems

@@ -13,7 +13,7 @@ the current cycle iff its ``_mark_epoch`` equals the heap's epoch, so
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.runtime.objects import HeapObject, iter_heap_refs
 
@@ -34,6 +34,7 @@ class GlobalRoot(HeapObject):
         self.names: Dict[str, Any] = {}
 
     def set(self, name: str, value: Any) -> None:
+        self._barrier(value)
         self.names[name] = value
 
     def get(self, name: str, default: Any = None) -> Any:
@@ -94,6 +95,20 @@ class Heap:
         self.total_alloc_objects = 0
         self.total_freed_bytes = 0
         self.total_freed_objects = 0
+        # Dijkstra-style insertion write barrier (incremental collector):
+        # active only during the concurrent MARKING phase.  Every
+        # reference store in the runtime routes through
+        # :meth:`write_barrier`, which shades the stored target gray so
+        # a black object can never point at a white one.
+        self._barrier_active = False
+        self._gray_sink: Optional[List[HeapObject]] = None
+        self.barrier_shades = 0
+        #: Optional chaos hook fired on every barrier shade
+        #: (``hook(src, obj)``); one-shot jitter faults arm this.
+        self.barrier_hook: Optional[Callable[[Any, HeapObject], None]] = None
+        # Registry of objects that age on every GC cycle (sync.Pool):
+        # lets the collector age pools without an O(heap) scan.
+        self._gc_aged: Dict[int, HeapObject] = {}
         self.globals = GlobalRoot()
         self.allocate(self.globals, pinned=True)
 
@@ -115,6 +130,15 @@ class Heap:
         self.total_alloc_objects += 1
         if pinned:
             self._pinned.add(obj.addr)
+        if getattr(type(obj), "gc_ages_on_cycle", False):
+            self._gc_aged[obj.addr] = obj
+        if self._barrier_active:
+            # Allocate-black: objects born during marking survive the
+            # cycle.  Push them gray as well, so references installed by
+            # their constructors are traced even if the allocator never
+            # reaches a barrier afterwards.
+            if self.mark(obj) and self._gray_sink is not None:
+                self._gray_sink.append(obj)
         return obj
 
     def pin(self, obj: HeapObject) -> None:
@@ -130,6 +154,7 @@ class Heap:
             self.total_freed_bytes += obj.size
             self.total_freed_objects += 1
             self._pinned.discard(obj.addr)
+            self._gc_aged.pop(obj.addr, None)
             obj._heap = None
 
     # -- introspection ----------------------------------------------------
@@ -141,6 +166,16 @@ class Heap:
     def objects(self) -> Iterator[HeapObject]:
         """Iterate over all live objects (sweep-order: address order)."""
         return iter(self._objects.values())
+
+    def gc_aged_objects(self) -> Iterator[HeapObject]:
+        """Objects registered as aging once per GC cycle (``sync.Pool``).
+
+        Classes opt in with a ``gc_ages_on_cycle = True`` attribute; the
+        collector ages only this registry instead of scanning the whole
+        heap every cycle.  Iteration follows allocation order, matching
+        the old full-heap scan.
+        """
+        return iter(self._gc_aged.values())
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -170,6 +205,53 @@ class Heap:
 
     def is_marked(self, obj: HeapObject) -> bool:
         return obj._mark_epoch == self.epoch
+
+    # -- write barrier (incremental collector) ----------------------------
+
+    def enable_barrier(self, gray_sink: List[HeapObject]) -> None:
+        """Arm the Dijkstra insertion barrier for the MARKING phase.
+
+        ``gray_sink`` receives every object the barrier shades, so the
+        concurrent marker also traces *through* them (a shaded container
+        may itself hold unmarked references).
+        """
+        self._barrier_active = True
+        self._gray_sink = gray_sink
+
+    def disable_barrier(self) -> None:
+        self._barrier_active = False
+        self._gray_sink = None
+
+    @property
+    def barrier_active(self) -> bool:
+        return self._barrier_active
+
+    def write_barrier(self, src: Any, new_ref: Any) -> None:
+        """Shade the target of a reference store (Dijkstra, insertion).
+
+        Single choke point for every reference mutation in the runtime:
+        channel buffers and sudog values, sync-object fields, map/slice/
+        struct stores, and global-root sets.  While marking is in flight
+        this preserves the tricolor invariant — no black object ever
+        points to a white one — by marking the stored value (and pushing
+        it gray).  Masked goroutine descriptors are *not* shaded: under
+        GOLF, liveness must only propagate into a blocked goroutine via
+        the detector's ``B(g)`` fixpoint, never via a stored pointer to
+        its descriptor (see :mod:`repro.core.masking`).  Outside marking
+        this is a no-op.
+        """
+        if not self._barrier_active or new_ref is None:
+            return
+        if self.barrier_hook is not None:
+            self.barrier_hook(src, new_ref)
+        sink = self._gray_sink
+        for obj in iter_heap_refs(new_ref):
+            if obj.kind == "goroutine" and obj.masked:  # type: ignore[attr-defined]
+                continue
+            if self.mark(obj):
+                self.barrier_shades += 1
+                if sink is not None:
+                    sink.append(obj)
 
     # -- sweeping ---------------------------------------------------------
 
@@ -201,12 +283,43 @@ class Heap:
             to_free.append(obj)
         for obj in to_free:
             del self._objects[obj.addr]
+            self._gc_aged.pop(obj.addr, None)
             obj._heap = None
             freed_objects += 1
             freed_bytes += obj.size
         self.total_freed_objects += freed_objects
         self.total_freed_bytes += freed_bytes
         return SweepResult(freed_objects, freed_bytes, len(finalizers)), finalizers
+
+    def is_pinned(self, obj: HeapObject) -> bool:
+        return obj.addr in self._pinned
+
+    def sweep_one(
+        self, obj: HeapObject
+    ) -> Tuple[bool, int, Optional[Callable[[], None]]]:
+        """Sweep a single candidate (the incremental SWEEPING phase).
+
+        Applies the same rules as :meth:`sweep` to one object: marked,
+        pinned, or already-freed candidates are left alone; an unmarked
+        object with a finalizer is resurrected (marked for this epoch,
+        finalizer detached and returned as a thunk); anything else is
+        freed.  Returns ``(freed, freed_bytes, finalizer_thunk)``.
+        """
+        if not self.contains(obj) or obj.addr in self._pinned:
+            return False, 0, None
+        if obj._mark_epoch == self.epoch:
+            return False, 0, None
+        if obj._finalizer is not None:
+            fn = obj._finalizer
+            obj._finalizer = None
+            obj._mark_epoch = self.epoch
+            return False, 0, _bind_finalizer(fn, obj)
+        del self._objects[obj.addr]
+        self._gc_aged.pop(obj.addr, None)
+        obj._heap = None
+        self.total_freed_objects += 1
+        self.total_freed_bytes += obj.size
+        return True, obj.size, None
 
 
 def _bind_finalizer(

@@ -66,3 +66,59 @@ def mark_from(
             work += 1
             push(ref)
     return work, marked
+
+
+def push_roots(
+    heap: Heap,
+    roots: Iterable[HeapObject],
+    gray: List[HeapObject],
+    respect_masks: bool = False,
+) -> Tuple[int, int]:
+    """Mark ``roots`` and enqueue them gray *without* draining.
+
+    The incremental collector's MARK_SETUP: roots are shaded under STW,
+    then :func:`drain_budget` traces from them in bounded steps
+    interleaved with the mutator.  Work accounting matches
+    :func:`mark_from` (``scan_work`` charged per newly marked object), so
+    setup + complete drain totals the same work as one atomic pass over
+    an unchanged heap.
+    """
+    work = 0
+    marked = 0
+    for obj in roots:
+        if respect_masks and isinstance(obj, Goroutine) and obj.masked:
+            continue
+        if heap.mark(obj):
+            marked += 1
+            work += obj.scan_work
+            gray.append(obj)
+    return work, marked
+
+
+def drain_budget(
+    heap: Heap,
+    gray: List[HeapObject],
+    budget: int,
+    respect_masks: bool = False,
+) -> Tuple[int, int]:
+    """Drain up to ``budget`` work units from a shared gray queue.
+
+    One bounded MARKING step of the incremental collector.  The queue is
+    shared with the write barrier's gray sink, so objects shaded by
+    concurrent mutator stores are traced here too.  Returns
+    ``(work_units, objects_marked)`` for the step; the queue being empty
+    afterwards signals mark termination.
+    """
+    work = 0
+    marked = 0
+    while gray and work < budget:
+        obj = gray.pop()
+        for ref in obj.referents():
+            work += 1
+            if respect_masks and isinstance(ref, Goroutine) and ref.masked:
+                continue
+            if heap.mark(ref):
+                marked += 1
+                work += ref.scan_work
+                gray.append(ref)
+    return work, marked

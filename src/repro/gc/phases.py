@@ -1,0 +1,35 @@
+"""The GC phase machine of the incremental collector.
+
+The atomic collector runs an entire cycle inside one call; the
+incremental collector decomposes the same cycle into explicit phases::
+
+    IDLE -> MARK_SETUP (STW) -> MARKING (concurrent, bounded steps)
+         -> MARK_TERMINATION (STW) -> SWEEPING (concurrent, bounded steps)
+         -> IDLE
+
+``MARK_SETUP`` and ``MARK_TERMINATION`` are the two stop-the-world
+windows (Go's sweep termination/mark setup and mark termination);
+``MARKING`` and ``SWEEPING`` run in bounded work budgets driven by the
+scheduler between goroutine time slices (``Scheduler.gc_step_hook``).
+See ``docs/GC.md`` for the full design, including the write-barrier
+invariant that makes concurrent marking sound.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GCPhase(enum.Enum):
+    """Where the incremental collector currently stands."""
+
+    IDLE = "idle"
+    MARK_SETUP = "mark-setup"
+    MARKING = "marking"
+    MARK_TERMINATION = "mark-termination"
+    SWEEPING = "sweeping"
+
+    @property
+    def stop_the_world(self) -> bool:
+        """Whether mutators are paused for this phase."""
+        return self in (GCPhase.MARK_SETUP, GCPhase.MARK_TERMINATION)

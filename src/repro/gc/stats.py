@@ -19,10 +19,12 @@ class CycleStats:
         "heap_bytes_before", "heap_bytes_after",
         "heap_objects_before", "heap_objects_after",
         "mark_iterations", "mark_work_units", "mark_clock_ns",
-        "liveness_checks", "pause_ns",
+        "liveness_checks", "pause_setup_ns", "pause_termination_ns",
         "swept_objects", "swept_bytes", "finalizers_queued",
         "deadlocks_detected", "deadlocks_kept_for_finalizers",
         "goroutines_reclaimed", "reachable_dead_bytes",
+        "barrier_shades", "mark_steps", "sweep_steps",
+        "root_reexpansions", "rescan_work_units",
     )
 
     def __init__(self, cycle: int, reason: str, mode: str,
@@ -39,7 +41,12 @@ class CycleStats:
         self.mark_work_units = 0
         self.mark_clock_ns = 0
         self.liveness_checks = 0
-        self.pause_ns = 0
+        # The two STW windows of a cycle.  The atomic collector performs
+        # both back to back; the incremental phase machine separates them
+        # by the concurrent MARKING phase.  ``pause_ns`` (a property)
+        # remains the per-cycle total for Table-2-style aggregates.
+        self.pause_setup_ns = 0
+        self.pause_termination_ns = 0
         self.swept_objects = 0
         self.swept_bytes = 0
         self.finalizers_queued = 0
@@ -49,6 +56,26 @@ class CycleStats:
         # Bytes kept reachable only through deadlocked goroutines — the
         # liveness precision gap the GOLF detector closes over time.
         self.reachable_dead_bytes = 0
+        # Incremental-mode instrumentation (all zero under atomic mode):
+        # write-barrier shades, bounded mark/sweep steps the scheduler
+        # interleaved with mutators, masked goroutines re-expanded into
+        # the root set after a mid-cycle wake, and mark-termination stack
+        # rescan work (not charged to ``mark_clock_ns``).
+        self.barrier_shades = 0
+        self.mark_steps = 0
+        self.sweep_steps = 0
+        self.root_reexpansions = 0
+        self.rescan_work_units = 0
+
+    @property
+    def pause_ns(self) -> int:
+        """Total STW time of the cycle (setup + termination windows)."""
+        return self.pause_setup_ns + self.pause_termination_ns
+
+    @property
+    def max_pause_window_ns(self) -> int:
+        """The longest single STW window of this cycle."""
+        return max(self.pause_setup_ns, self.pause_termination_ns)
 
     def __repr__(self) -> str:
         return (
@@ -75,6 +102,22 @@ class GCStats:
     @property
     def pause_total_ns(self) -> int:
         return sum(c.pause_ns for c in self.cycles)
+
+    @property
+    def max_pause_ns(self) -> int:
+        """Largest per-cycle total pause (both STW windows summed)."""
+        return max((c.pause_ns for c in self.cycles), default=0)
+
+    @property
+    def max_pause_window_ns(self) -> int:
+        """Largest single STW window across all cycles.
+
+        This is the number mutators actually experience: under the
+        incremental collector each window excludes the concurrent
+        marking work, so it sits strictly below the atomic full-cycle
+        pause (pinned by ``benchmarks/bench_gc_pauses.py``).
+        """
+        return max((c.max_pause_window_ns for c in self.cycles), default=0)
 
     @property
     def total_mark_work(self) -> int:

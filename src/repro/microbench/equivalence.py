@@ -1,0 +1,148 @@
+"""The atomic-vs-incremental GC equivalence oracle.
+
+The correctness proof for the incremental collector is behavioral: for
+every program in the microbenchmark registry, under a fixed
+``(procs, seed)``, the two ``--gc-mode`` values must produce *identical*
+leak reports — same goroutines, same detection cycles, byte-identical
+report renderings — and identical virtual-clock totals.  Both the CLI
+(``python -m repro gc-equiv``) and the test suite
+(``tests/test_gc_equivalence.py``) run this module, so CI and local
+pytest enforce the same oracle.
+
+Fixed (leak-free) benchmark variants are included: they must report
+*nothing* in both modes, which guards against the incremental collector
+inventing false positives just as much as missing true ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import GolfConfig
+from repro.microbench.harness import run_microbenchmark
+from repro.microbench.registry import Microbenchmark, all_benchmarks
+
+#: What the oracle compares, per run: the fully rendered report log
+#: (goid, wait reason, sites, stack), each report's detection cycle, the
+#: number of GC cycles, and the total/maximum STW pause.  Absolute
+#: virtual timestamps are deliberately *not* compared: splitting one
+#: atomic pause into setup+termination windows moves where timer
+#: deadlines land relative to GC, so on timeout-driven programs later
+#: cycles legitimately start a few pause-widths apart even though every
+#: verdict, cycle number, and pause total is identical.
+Signature = Tuple[str, Tuple[Tuple[int, int], ...], int, int, int]
+
+
+def _signature(rt) -> Signature:
+    log = "\n---\n".join(r.format() for r in rt.reports)
+    cycles = tuple((r.goid, r.gc_cycle) for r in rt.reports)
+    stats = rt.collector.stats
+    return log, cycles, stats.num_gc, stats.pause_total_ns, stats.max_pause_ns
+
+
+class BenchComparison:
+    """One benchmark run under both gc modes."""
+
+    __slots__ = ("name", "variant", "atomic", "incremental")
+
+    def __init__(self, name: str, variant: str,
+                 atomic: Signature, incremental: Signature):
+        self.name = name
+        self.variant = variant
+        self.atomic = atomic
+        self.incremental = incremental
+
+    @property
+    def match(self) -> bool:
+        return self.atomic == self.incremental
+
+    def describe_mismatch(self) -> str:
+        a_log, a_cycles, a_ngc, a_total, a_max = self.atomic
+        i_log, i_cycles, i_ngc, i_total, i_max = self.incremental
+        parts = [f"{self.name} [{self.variant}]:"]
+        if a_log != i_log:
+            parts.append(f"  report log differs:\n"
+                         f"  -- atomic --\n{a_log or '<empty>'}\n"
+                         f"  -- incremental --\n{i_log or '<empty>'}")
+        if a_cycles != i_cycles:
+            parts.append(f"  detection (goid, cycle) differ: "
+                         f"atomic={a_cycles} incremental={i_cycles}")
+        if a_ngc != i_ngc:
+            parts.append(f"  num_gc differs: atomic={a_ngc} "
+                         f"incremental={i_ngc}")
+        if (a_total, a_max) != (i_total, i_max):
+            parts.append(f"  pause totals differ: "
+                         f"atomic=({a_total}, {a_max}) "
+                         f"incremental=({i_total}, {i_max})")
+        return "\n".join(parts)
+
+
+class EquivalenceResult:
+    """Outcome of one oracle sweep."""
+
+    def __init__(self, procs: int, seed: int):
+        self.procs = procs
+        self.seed = seed
+        self.comparisons: List[BenchComparison] = []
+
+    @property
+    def mismatches(self) -> List[BenchComparison]:
+        return [c for c in self.comparisons if not c.match]
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        lines = [
+            f"gc equivalence oracle (procs={self.procs}, seed={self.seed})",
+            f"  runs compared   : {len(self.comparisons)}",
+            f"  mismatches      : {len(self.mismatches)}",
+        ]
+        for c in self.mismatches:
+            lines.append(c.describe_mismatch())
+        if self.clean:
+            lines.append("  verdict         : EQUIVALENT")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "procs": self.procs,
+            "seed": self.seed,
+            "runs": len(self.comparisons),
+            "mismatches": [c.describe_mismatch() for c in self.mismatches],
+            "clean": self.clean,
+        }
+
+
+def compare_benchmark(bench: Microbenchmark, procs: int, seed: int,
+                      use_fixed: bool = False) -> BenchComparison:
+    """Run ``bench`` under both gc modes and compare signatures."""
+    sigs = {}
+    for mode in ("atomic", "incremental"):
+        captured = []
+        run_microbenchmark(
+            bench, procs=procs, seed=seed,
+            config=GolfConfig(gc_mode=mode),
+            use_fixed=use_fixed,
+            rt_hook=captured.append,
+        )
+        sigs[mode] = _signature(captured[0])
+    return BenchComparison(bench.name, "fixed" if use_fixed else "buggy",
+                           sigs["atomic"], sigs["incremental"])
+
+
+def run_equivalence_oracle(
+    procs: int = 2,
+    seed: int = 7,
+    benchmarks: Optional[Sequence[Microbenchmark]] = None,
+    include_fixed: bool = True,
+) -> EquivalenceResult:
+    """Sweep the registry (buggy + fixed variants) under both gc modes."""
+    result = EquivalenceResult(procs, seed)
+    for bench in (benchmarks if benchmarks is not None else all_benchmarks()):
+        result.comparisons.append(compare_benchmark(bench, procs, seed))
+        if include_fixed and bench.fixed is not None:
+            result.comparisons.append(
+                compare_benchmark(bench, procs, seed, use_fixed=True))
+    return result

@@ -115,6 +115,9 @@ class Channel(HeapObject):
         return None
 
     def enqueue_sender(self, sudog: Sudog) -> None:
+        # Linking the sudog publishes its value through the channel (see
+        # referents()), so the store is barrier-visible like any other.
+        self._barrier(sudog.value)
         self.sendq.append(sudog)
 
     def enqueue_receiver(self, sudog: Sudog) -> None:
@@ -149,6 +152,7 @@ class Channel(HeapObject):
         if receiver is not None:
             return True, [Wakeup(receiver, result=(value, True))]
         if not self.full:
+            self._barrier(value)
             self.buffer.append(value)
             return True, []
         return False, []
@@ -165,6 +169,7 @@ class Channel(HeapObject):
             # A parked sender can now move its value into the buffer.
             sender = self._pop_waiter(self.sendq)
             if sender is not None:
+                self._barrier(sender.value)
                 self.buffer.append(sender.value)
                 wakeups.append(Wakeup(sender, result=None))
             return True, value, True, wakeups

@@ -417,6 +417,13 @@ def _exec_set_finalizer(sched, g, instr: ins.SetFinalizer) -> None:
 
 
 def _exec_run_gc(sched, g, instr: ins.RunGC) -> None:
+    if sched.gc_request_hook is not None and sched.gc_request_hook(g):
+        # Incremental collector: the caller parks until the cycle it
+        # requested completes (Go's "wait for GC cycle"); the collector
+        # wakes it from _complete_cycle.  B(g) is empty — a GC wait is
+        # never a deadlock candidate.
+        sched.park(g, WaitReason.GC_WAIT, ())
+        return
     sched.gc_hook("runtime.GC")
     sched.resume(g, None)
 

@@ -90,6 +90,18 @@ class HeapObject:
 
     # -- reference graph -------------------------------------------------
 
+    def _barrier(self, value: Any) -> None:
+        """Route a reference store through the heap's write barrier.
+
+        Called by every mutating accessor before the store lands.  A
+        no-op until the object is allocated and the incremental
+        collector's MARKING phase is active (see
+        :meth:`repro.gc.heap.Heap.write_barrier`).
+        """
+        heap = self._heap
+        if heap is not None:
+            heap.write_barrier(self, value)
+
     def referents(self) -> Iterator["HeapObject"]:
         """Yield the heap objects this object directly references.
 
@@ -122,15 +134,24 @@ class HeapObject:
 class Box(HeapObject):
     """A single mutable reference cell (a pointer-sized heap allocation)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("_value",)
     kind = "box"
 
     def __init__(self, value: Any = None):
         super().__init__(size=2 * WORD_SIZE)
-        self.value = value
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._barrier(new_value)
+        self._value = new_value
 
     def referents(self) -> Iterator[HeapObject]:
-        return iter_heap_refs(self.value)
+        return iter_heap_refs(self._value)
 
 
 class Struct(HeapObject):
@@ -152,12 +173,14 @@ class Struct(HeapObject):
         return self.fields[name]
 
     def set(self, name: str, value: Any) -> None:
+        self._barrier(value)
         self.fields[name] = value
 
     def __getitem__(self, name: str) -> Any:
         return self.fields[name]
 
     def __setitem__(self, name: str, value: Any) -> None:
+        self._barrier(value)
         self.fields[name] = value
 
     def referents(self) -> Iterator[HeapObject]:
@@ -176,6 +199,7 @@ class Slice(HeapObject):
         super().__init__(size=3 * WORD_SIZE + WORD_SIZE * len(self.items))
 
     def append(self, value: Any) -> None:
+        self._barrier(value)
         self.items.append(value)
         self.resize(self.size + WORD_SIZE)
 
@@ -186,6 +210,7 @@ class Slice(HeapObject):
         return self.items[index]
 
     def __setitem__(self, index: int, value: Any) -> None:
+        self._barrier(value)
         self.items[index] = value
 
     def __iter__(self) -> Iterator[Any]:
@@ -254,6 +279,8 @@ class GoMap(HeapObject):
         return self.entries[key]
 
     def __setitem__(self, key: Any, value: Any) -> None:
+        self._barrier(key)
+        self._barrier(value)
         if key not in self.entries:
             self.resize(self.size + self.BYTES_PER_ENTRY)
         self.entries[key] = value

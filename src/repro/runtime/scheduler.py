@@ -136,6 +136,16 @@ class Scheduler:
         self.fault_hook: Optional[
             Callable[[Goroutine, Instruction], Optional[BaseException]]
         ] = None
+        #: Incremental GC hooks (wired only under --gc-mode incremental).
+        #: ``gc_step_hook`` advances the in-flight cycle by one bounded
+        #: work budget between time slices, returning True while a cycle
+        #: is in flight; ``gc_request_hook`` enrolls a ``runtime.GC``
+        #: caller as a cycle waiter (the executor parks it on GC_WAIT);
+        #: ``gc_wake_hook`` notifies the collector that a masked
+        #: detection candidate is being legitimately woken mid-cycle.
+        self.gc_step_hook: Optional[Callable[[], bool]] = None
+        self.gc_request_hook: Optional[Callable[[Goroutine], bool]] = None
+        self.gc_wake_hook: Optional[Callable[[Goroutine], None]] = None
 
     # ------------------------------------------------------------------
     # Spawning
@@ -221,6 +231,11 @@ class Scheduler:
             )
         if g.status != GStatus.WAITING:
             raise SchedulerError(f"cannot wake non-waiting goroutine {g!r}")
+        if g.masked and self.gc_wake_hook is not None:
+            # A masked detection candidate is being legitimately woken
+            # while the incremental collector marks: GOLF root
+            # re-expansion (the wake itself proves liveness).
+            self.gc_wake_hook(g)
         for sd in g.sudogs:
             sd.active = False
         g.sudogs = []
@@ -461,9 +476,18 @@ class Scheduler:
                 for p in busy:
                     if p.busy_until <= self.clock.now:
                         self._complete(p)
+                if self.gc_step_hook is not None:
+                    # Incremental GC: one bounded mark/sweep budget per
+                    # scheduler tick, interleaved with mutator progress.
+                    self.gc_step_hook()
                 continue
 
-            # No processor is busy: either jump to the next timer or stop.
+            # No processor is busy: drive any in-flight GC cycle before
+            # jumping time or declaring deadlock — goroutines parked in
+            # runtime.GC (GC_WAIT) become runnable when it completes.
+            if self.gc_step_hook is not None and self.gc_step_hook():
+                continue
+            # Either jump to the next timer or stop.
             if self._timers:
                 t = self._timers[0][0]
                 if until_ns is not None and t > until_ns:

@@ -128,7 +128,17 @@ class SemaTable:
     # -- public API -----------------------------------------------------------
 
     def enqueue(self, key: int, g: Goroutine) -> None:
-        """Park ``g`` on the semaphore with table key ``key``."""
+        """Park ``g`` on the semaphore with table key ``key``.
+
+        Deliberately *not* routed through the write barrier: the treap is
+        a global runtime structure the collector never traces, and the
+        enqueued back pointers target (possibly masked) goroutine
+        descriptors.  Shading them here would make every parked goroutine
+        reachable the instant it blocks, defeating the address masking
+        the paper builds deadlock detection on — sudog linking becomes
+        GC-visible only through the channel/stack edges that the barrier
+        does cover.
+        """
         self._found: Optional[_TreapNode] = None
         self._root = self._insert(self._root, key)
         assert self._found is not None

@@ -175,6 +175,11 @@ class Pool(HeapObject):
     __slots__ = ("_items", "_victims", "new", "gets", "puts", "misses")
     kind = "pool"
 
+    #: Registers the pool in the heap's per-cycle aging registry at
+    #: allocation time, so the collector ages pools without scanning the
+    #: whole heap (see :meth:`repro.gc.heap.Heap.gc_aged_objects`).
+    gc_ages_on_cycle = True
+
     def __init__(self, new=None):
         super().__init__(size=4 * WORD_SIZE)
         self._items: list = []
@@ -185,6 +190,7 @@ class Pool(HeapObject):
         self.misses = 0
 
     def put(self, item) -> None:
+        self._barrier(item)
         self._items.append(item)
         self.puts += 1
 

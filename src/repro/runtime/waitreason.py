@@ -37,6 +37,9 @@ class WaitReason(enum.Enum):
     GC_WORKER_IDLE = "GC worker (idle)"
     FORCE_GC_IDLE = "force gc (idle)"
     TIMER_GOROUTINE_IDLE = "timer goroutine (idle)"
+    #: Parked in ``runtime.GC()`` until the incremental collector's
+    #: in-flight cycle completes (Go's ``wait for GC cycle``).
+    GC_WAIT = "wait for GC cycle"
 
     @property
     def is_detectable(self) -> bool:

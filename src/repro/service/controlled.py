@@ -82,6 +82,12 @@ class ControlledResult:
         self.memstats: Dict[str, float] = {}
         self.deadlocks_detected = 0
         self.goroutines_reclaimed = 0
+        self.gc_mode = "atomic"
+        #: Longest full-cycle pause / longest single STW window; for the
+        #: atomic collector the two coincide, the incremental collector
+        #: exists to drive the second strictly below the first.
+        self.max_pause_ns = 0
+        self.max_pause_window_ns = 0
         #: Per-virtual-second samples of live heap bytes / blocked
         #: goroutines, for leak-growth analyses.
         self.heap_series: List[int] = []
@@ -115,10 +121,18 @@ class ControlledResult:
 
 def run_controlled(config: Optional[ControlledConfig] = None,
                    golf: bool = True,
-                   telemetry=None) -> ControlledResult:
-    """Run the controlled client/server workload once."""
+                   telemetry=None,
+                   gc_config: Optional[GolfConfig] = None) -> ControlledResult:
+    """Run the controlled client/server workload once.
+
+    ``gc_config`` overrides the collector configuration entirely (used
+    by the pause benchmark to pit ``atomic`` against ``incremental`` on
+    an otherwise identical workload); by default ``golf`` picks between
+    GOLF and the baseline collector.
+    """
     config = config or ControlledConfig()
-    gc_config = GolfConfig() if golf else GolfConfig.baseline()
+    if gc_config is None:
+        gc_config = GolfConfig() if golf else GolfConfig.baseline()
     rt = Runtime(procs=config.procs, seed=config.seed, config=gc_config)
     if telemetry is not None:
         telemetry.attach(rt)
@@ -228,4 +242,7 @@ def run_controlled(config: Optional[ControlledConfig] = None,
     result.memstats = rt.memstats().as_dict()
     result.deadlocks_detected = rt.collector.stats.total_deadlocks_detected
     result.goroutines_reclaimed = rt.collector.stats.total_goroutines_reclaimed
+    result.gc_mode = gc_config.gc_mode
+    result.max_pause_ns = rt.collector.stats.max_pause_ns
+    result.max_pause_window_ns = rt.collector.stats.max_pause_window_ns
     return result

@@ -146,6 +146,28 @@ class TelemetryHub:
         self.gc_pause = reg.histogram(
             "repro_gc_pause_ns", "Stop-the-world pause per cycle",
             unit="ns", buckets=DURATION_BUCKETS_NS)
+        self.gc_pause_window = reg.histogram(
+            "repro_gc_pause_window_ns",
+            "Individual stop-the-world window, by phase "
+            "(setup vs termination)", labelnames=("window",),
+            unit="ns", buckets=DURATION_BUCKETS_NS)
+        self.gc_phase_transitions = reg.counter(
+            "repro_gc_phase_transitions_total",
+            "Incremental-collector phase entries, by phase",
+            labelnames=("phase",))
+        self.gc_barrier_shades = reg.counter(
+            "repro_gc_barrier_shades_total",
+            "Objects shaded gray by the write barrier")
+        self.gc_mark_steps = reg.counter(
+            "repro_gc_mark_steps_total",
+            "Bounded concurrent marking steps")
+        self.gc_sweep_steps = reg.counter(
+            "repro_gc_sweep_steps_total",
+            "Bounded concurrent sweeping steps")
+        self.gc_root_reexpansions = reg.counter(
+            "repro_gc_root_reexpansions_total",
+            "Masked candidates re-admitted to the root set by a "
+            "mid-cycle wake")
         self.gc_mark_clock = reg.histogram(
             "repro_gc_mark_clock_ns", "Marking-phase cost per cycle",
             unit="ns", buckets=DURATION_BUCKETS_NS)
@@ -301,12 +323,29 @@ class TelemetryHub:
 
     # -- collector / detector callbacks --------------------------------------
 
+    def on_gc_phase(self, phase: str, cycle: int) -> None:
+        """Incremental collector entered ``phase`` (cold: a few per cycle)."""
+        self.gc_phase_transitions.labels(phase).inc()
+        self.recorder.record("gc", "gc-phase", 0, f"#{cycle} {phase}",
+                             severity=rec.DEBUG)
+
     def on_gc_cycle(self, cs, sched, heap) -> None:
         self.gc_cycles.labels(cs.mode, cs.reason).inc()
         self.gc_pause.observe(cs.pause_ns)
+        self.gc_pause_window.labels("setup").observe(cs.pause_setup_ns)
+        self.gc_pause_window.labels("termination").observe(
+            cs.pause_termination_ns)
         self.gc_mark_clock.observe(cs.mark_clock_ns)
         self.gc_mark_work.inc(cs.mark_work_units)
         self.gc_swept_bytes.inc(cs.swept_bytes)
+        if cs.barrier_shades:
+            self.gc_barrier_shades.inc(cs.barrier_shades)
+        if cs.mark_steps:
+            self.gc_mark_steps.inc(cs.mark_steps)
+        if cs.sweep_steps:
+            self.gc_sweep_steps.inc(cs.sweep_steps)
+        if cs.root_reexpansions:
+            self.gc_root_reexpansions.inc(cs.root_reexpansions)
         self.liveness_checks.inc(cs.liveness_checks)
         self.reachable_dead_bytes.set(cs.reachable_dead_bytes)
         self.reachable_dead_bytes_total.inc(cs.reachable_dead_bytes)

@@ -1,0 +1,97 @@
+"""The atomic-vs-incremental equivalence oracle as a test.
+
+This is the correctness proof for the incremental collector: every
+microbenchmark in the registry, buggy and fixed variant alike, must
+yield identical leak reports (same goroutines, same detection cycles,
+byte-identical report logs), GC cycle counts, and STW pause totals
+under both ``--gc-mode`` values.  The same oracle runs in CI via
+``python -m repro gc-equiv``.
+"""
+
+import pytest
+
+from repro.microbench.equivalence import (
+    compare_benchmark,
+    run_equivalence_oracle,
+)
+from repro.microbench.registry import all_benchmarks
+
+
+class TestEquivalenceOracle:
+    def test_full_registry_equivalent(self):
+        result = run_equivalence_oracle(procs=2, seed=7)
+        assert result.clean, "\n" + result.format()
+        # Both variants of every benchmark must have been compared.
+        expected = sum(2 if b.fixed is not None else 1
+                       for b in all_benchmarks())
+        assert len(result.comparisons) == expected
+
+    def test_registry_equivalent_under_other_seed(self):
+        result = run_equivalence_oracle(procs=2, seed=11)
+        assert result.clean, "\n" + result.format()
+
+    def test_fixed_variants_report_nothing_in_both_modes(self):
+        result = run_equivalence_oracle(procs=2, seed=7)
+        fixed = [c for c in result.comparisons if c.variant == "fixed"]
+        assert fixed
+        for c in fixed:
+            log, cycles, _, _, _ = c.atomic
+            assert log == "" and cycles == (), (
+                f"{c.name} fixed variant reported a leak")
+
+    def test_single_benchmark_comparison(self):
+        bench = next(b for b in all_benchmarks()
+                     if b.name == "cgo/timeout-leak")
+        comp = compare_benchmark(bench, procs=2, seed=7)
+        assert comp.match
+        log, cycles, num_gc, total, max_pause = comp.atomic
+        assert log and cycles  # this benchmark leaks
+        assert num_gc >= 1 and total > 0 and max_pause > 0
+
+    def test_mismatch_formatting(self):
+        bench = all_benchmarks()[0]
+        comp = compare_benchmark(bench, procs=2, seed=7)
+        # Fabricate a divergence to exercise the failure report.
+        comp.incremental = ("bogus", ((1, 1),), 99, 0, 0)
+        assert not comp.match
+        text = comp.describe_mismatch()
+        assert "report log differs" in text
+        assert "num_gc differs" in text
+
+    def test_result_serialization(self):
+        bench = all_benchmarks()[0]
+        result = run_equivalence_oracle(procs=2, seed=7, benchmarks=[bench])
+        d = result.to_dict()
+        assert d["clean"] is True
+        assert d["procs"] == 2 and d["seed"] == 7
+        assert "EQUIVALENT" in result.format()
+
+
+class TestGcEquivCli:
+    def test_gc_equiv_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["gc-equiv", "--procs", "2", "--seed", "7",
+                   "--json-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EQUIVALENT" in out
+        assert (tmp_path / "gc-equiv-p2-s7.json").exists()
+
+    def test_gc_mode_flag_sets_process_default(self, tmp_path):
+        from repro.cli import main
+        from repro.core.config import (
+            GolfConfig,
+            get_default_gc_mode,
+            set_default_gc_mode,
+        )
+
+        assert get_default_gc_mode() == "atomic"
+        try:
+            rc = main(["chaos", "--gc-mode", "incremental", "--seeds", "2",
+                       "--scenario", "gc-phase", "--json-dir",
+                       str(tmp_path)])
+            assert rc == 0
+            assert GolfConfig().incremental
+        finally:
+            set_default_gc_mode("atomic")
