@@ -6,10 +6,14 @@ One leaky program, four diagnostic views:
 1. the **goroutine profile** (pprof style) — where everything is parked;
 2. the **stack dump** (fatal-error style) — per-goroutine detail;
 3. the **GC trace** (gctrace style) — cycles, marking, detections;
-4. the **event trace** (GODEBUG style) — the leaked goroutine's life.
+4. the **event trace** (GODEBUG style) — the leaked goroutine's life;
+5. the **why-leaked report** — GOLF's causal provenance for the leak;
+6. a **Chrome trace** you can open in Perfetto / chrome://tracing.
 
 Run:  python examples/observability.py
 """
+
+import json
 
 from repro import GolfConfig, Runtime
 from repro.gc.stats import format_gctrace
@@ -77,3 +81,22 @@ if __name__ == "__main__":
     for event in tracer.for_goroutine(report.goid):
         print(event.format())
     assert report.label == "orphaned-task"
+
+    print("\n== why-leaked report ==")
+    print(report.provenance.format())
+    assert report.provenance.evidence  # every leak explains itself
+
+    from repro.trace import export_chrome_trace, validate_chrome_trace
+
+    doc = export_chrome_trace(tracer, procs=2,
+                              benchmark="examples/observability", seed=4)
+    counts = validate_chrome_trace(doc)
+    path = "benchmarks/out/observability.trace.json"
+    import os
+
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+    print(f"\n== chrome trace ==\nwrote {path} "
+          f"({counts['slices']} slices, {counts['flows']} flows) — "
+          "load it in Perfetto or chrome://tracing")

@@ -80,6 +80,10 @@ class FaultInjector:
             if telemetry is not None:
                 telemetry.on_fault_injected(
                     record.kind, record.target_goid, record.detail)
+            tracer = self.rt.sched.tracer
+            if tracer is not None:
+                tracer.on_fault(record.kind, record.target_goid,
+                                record.detail)
             self._check_after_fault(record)
         return result
 

@@ -150,6 +150,23 @@ def _cmd_obs(args) -> str:
     return result.format()
 
 
+def _cmd_trace(args) -> str:
+    from repro.trace.chrome import validate_chrome_trace
+    from repro.trace.driver import run_traced_benchmark, write_trace_artifacts
+
+    result = run_traced_benchmark(
+        args.benchmark, procs=args.procs, seed=args.seed,
+        capacity=args.capacity)
+    counts = validate_chrome_trace(result.chrome)
+    out_dir = args.out_dir or args.out or "benchmarks/out"
+    write_trace_artifacts(result, out_dir)
+    text = result.format()
+    text += ("\n  chrome schema   : valid "
+             f"({counts['slices']} slices, {counts['instants']} instants, "
+             f"{counts['flows']} flows)")
+    return text
+
+
 def _cmd_vet(args) -> str:
     """Static partial-deadlock analysis (see docs/STATIC_ANALYSIS.md).
 
@@ -254,6 +271,7 @@ _COMMANDS: Dict[str, Callable] = {
     "tester": _cmd_tester,
     "chaos": _cmd_chaos,
     "obs": _cmd_obs,
+    "trace": _cmd_trace,
     "vet": _cmd_vet,
     "gc-equiv": _cmd_gc_equiv,
 }
@@ -371,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent fingerprint store for cross-run "
                         "leak dedup")
 
+    p = add("trace", help="run one benchmark with the execution tracer "
+                          "and write Chrome-trace + why-leaked artifacts")
+    p.add_argument("--benchmark", default="cgo/sendmail",
+                   help="microbenchmark name (see repro.microbench)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--capacity", type=int, default=200_000,
+                   help="trace ring-buffer capacity (events)")
+
     p = add("gc-equiv", help="atomic-vs-incremental GC equivalence "
                              "oracle over the microbench registry; "
                              "exits non-zero on any divergence")
@@ -420,10 +447,10 @@ def main(argv=None) -> int:
         # this hub (Runtime.__init__ auto-attaches the default hub).
         set_default_hub(hub)
     if args.command == "all":
-        # tester, chaos, obs, vet, and gc-equiv have their own flags and
-        # fail semantics; they run as explicit subcommands only.
+        # tester, chaos, obs, trace, vet, and gc-equiv have their own
+        # flags and fail semantics; they run as explicit subcommands only.
         commands = [c for c in _COMMANDS
-                    if c not in ("tester", "chaos", "obs", "vet",
+                    if c not in ("tester", "chaos", "obs", "trace", "vet",
                                  "gc-equiv")]
     else:
         commands = [args.command]

@@ -20,11 +20,12 @@ class DeadlockReport:
     """One detected partial deadlock."""
 
     __slots__ = ("goid", "name", "label", "go_site", "block_site",
-                 "wait_reason", "stack", "gc_cycle", "detected_at_ns")
+                 "wait_reason", "stack", "gc_cycle", "detected_at_ns",
+                 "glabel", "provenance")
 
     def __init__(self, goid: int, name: str, label: str, go_site: str,
                  block_site: str, wait_reason: str, stack: List[str],
-                 gc_cycle: int, detected_at_ns: int):
+                 gc_cycle: int, detected_at_ns: int, glabel: str = ""):
         self.goid = goid
         self.name = name
         self.label = label
@@ -34,6 +35,11 @@ class DeadlockReport:
         self.stack = stack
         self.gc_cycle = gc_cycle
         self.detected_at_ns = detected_at_ns
+        self.glabel = glabel or f"{name}#{goid}"
+        #: The causal why-leaked record the collector attaches at
+        #: detection time (:mod:`repro.trace.provenance`); None only for
+        #: reports constructed outside a collection.
+        self.provenance = None
 
     @property
     def dedup_key(self) -> Tuple[str, str]:
@@ -45,6 +51,7 @@ class DeadlockReport:
         (how the RQ1(c) deployment collected reports)."""
         return {
             "goid": self.goid,
+            "glabel": self.glabel,
             "name": self.name,
             "label": self.label,
             "go_site": self.go_site,
@@ -58,7 +65,7 @@ class DeadlockReport:
     def format(self) -> str:
         """Render in the style of GOLF's runtime message."""
         lines = [
-            f"partial deadlock! goroutine {self.goid} [{self.wait_reason}]",
+            f"partial deadlock! goroutine {self.glabel} [{self.wait_reason}]",
             f"  spawned at: {self.go_site}",
             f"  blocked at: {self.block_site}",
         ]
@@ -89,6 +96,7 @@ class ReportLog:
             stack=g.stack_trace(),
             gc_cycle=gc_cycle,
             detected_at_ns=now_ns,
+            glabel=g.trace_label,
         )
         self.reports.append(report)
         return report

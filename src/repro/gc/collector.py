@@ -254,6 +254,17 @@ class Collector:
         finalizer keep-alive decision, and PENDING_RECLAIM scheduling are
         byte-for-byte identical regardless of how marking was driven.
         """
+        prov_map = {}
+        if deadlocked:
+            # Capture why-leaked evidence for the whole condemned set
+            # *before* recovery marks any exclusive subgraph below: the
+            # absence proofs read the post-fixpoint mark bits, which
+            # scan_and_mark_subgraph would flip.  Lazy import: the trace
+            # package pulls in telemetry/export, which imports this module.
+            from repro.trace.provenance import capture_provenance
+            prov_map = capture_provenance(
+                deadlocked, self.heap, self.sched, cs.cycle,
+                cs.started_at_ns, self.sched.tracer)
         for g in deadlocked:
             # Timestamp with the cycle's start: in atomic mode the clock
             # has not advanced yet at this point, so this is clock.now;
@@ -261,11 +272,10 @@ class Collector:
             # and anchoring to the start keeps report logs byte-identical
             # across the two modes (the equivalence oracle checks this).
             report = self.reports.add(g, cs.cycle, cs.started_at_ns)
+            report.provenance = prov_map.get(g.goid)
             g.reported = True
             if self.sched.tracer is not None:
-                self.sched.tracer.emit(
-                    "partial-deadlock", g.goid,
-                    f"{report.wait_reason} at {report.block_site}")
+                self.sched.tracer.on_leak(report)
             if self.config.on_report is not None:
                 self.config.on_report(report)
             cs.deadlocks_detected += 1
@@ -298,11 +308,7 @@ class Collector:
         )
         self.stats.record(cs)
         if self.sched.tracer is not None:
-            self.sched.tracer.emit(
-                "gc-cycle", 0,
-                f"#{cs.cycle} {cs.mode} iters={cs.mark_iterations} "
-                f"work={cs.mark_work_units} swept={cs.swept_bytes}B "
-                f"deadlocks={cs.deadlocks_detected}")
+            self.sched.tracer.on_gc_cycle(cs)
         if self.sched.telemetry is not None:
             self.sched.telemetry.on_gc_cycle(cs, self.sched, self.heap)
 
@@ -310,9 +316,11 @@ class Collector:
 
     def _transition(self, phase: GCPhase) -> None:
         self.phase = phase
+        cycle_no = self._cycle.cycle if self._cycle is not None else 0
+        if self.sched.tracer is not None:
+            self.sched.tracer.on_gc_phase(phase.value, cycle_no)
         telemetry = self.sched.telemetry
         if telemetry is not None:
-            cycle_no = self._cycle.cycle if self._cycle is not None else 0
             telemetry.on_gc_phase(phase.value, cycle_no)
 
     def _begin_cycle(self, reason: str) -> None:

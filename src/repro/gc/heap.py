@@ -106,6 +106,10 @@ class Heap:
         #: Optional chaos hook fired on every barrier shade
         #: (``hook(src, obj)``); one-shot jitter faults arm this.
         self.barrier_hook: Optional[Callable[[Any, HeapObject], None]] = None
+        #: Optional trace hook fired when the barrier *newly* shades an
+        #: object (``hook(src, obj)``); installed by ``enable_tracing``.
+        self.trace_shade_hook: Optional[
+            Callable[[Any, HeapObject], None]] = None
         # Registry of objects that age on every GC cycle (sync.Pool):
         # lets the collector age pools without an O(heap) scan.
         self._gc_aged: Dict[int, HeapObject] = {}
@@ -250,6 +254,8 @@ class Heap:
                 continue
             if self.mark(obj):
                 self.barrier_shades += 1
+                if self.trace_shade_hook is not None:
+                    self.trace_shade_hook(src, obj)
                 if sink is not None:
                     sink.append(obj)
 

@@ -204,16 +204,22 @@ class Runtime:
         self.sched._reclaimed_bodies.clear()
 
     def enable_tracing(self, capacity: int = 100_000):
-        """Turn on GODEBUG-style event tracing; returns the tracer.
+        """Turn on structured event tracing; returns the tracer.
 
-        Events (goroutine lifecycle, GC cycles, deadlock reports) are
-        recorded with virtual timestamps; read them via
-        ``rt.tracer.events`` or ``rt.tracer.format()``.
+        Installs an :class:`~repro.trace.ExecutionTracer` on the
+        scheduler, the semaphore table, and the heap's barrier-shade
+        hook: goroutine lifecycle, channel/select/sema operations,
+        per-core instruction slices, GC phases, and leak verdicts are
+        recorded with virtual timestamps.  Read them via
+        ``rt.tracer.events`` / ``rt.tracer.format()``, or export with
+        :func:`repro.trace.export_chrome_trace`.
         """
-        from repro.runtime.tracing import Tracer
+        from repro.trace import ExecutionTracer
 
-        tracer = Tracer(self.clock, capacity=capacity)
+        tracer = ExecutionTracer(self.clock, capacity=capacity)
         self.sched.tracer = tracer
+        self.sched.semtable.tracer = tracer
+        self.heap.trace_shade_hook = tracer.on_shade
         return tracer
 
     @property

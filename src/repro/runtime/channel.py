@@ -59,7 +59,8 @@ class Channel(HeapObject):
     """A Go channel of the given capacity (0 = unbuffered)."""
 
     __slots__ = ("capacity", "buffer", "closed", "sendq", "recvq",
-                 "label", "make_site")
+                 "label", "make_site", "last_sender_goid",
+                 "last_receiver_goid", "total_transfers")
 
     kind = "chan"
 
@@ -74,6 +75,20 @@ class Channel(HeapObject):
         self.recvq: Deque[Sudog] = deque()
         self.label = label
         self.make_site = ""
+        # Last-communication ledger, maintained by the executor on every
+        # completed transfer.  The provenance engine reads it to answer
+        # "who talked on this channel last before the leak?".
+        self.last_sender_goid = 0
+        self.last_receiver_goid = 0
+        self.total_transfers = 0
+
+    def note_transfer(self, sender_goid: int, receiver_goid: int) -> None:
+        """Record one completed message transfer (goid 0 = unknown side)."""
+        if sender_goid:
+            self.last_sender_goid = sender_goid
+        if receiver_goid:
+            self.last_receiver_goid = receiver_goid
+        self.total_transfers += 1
 
     # -- introspection ------------------------------------------------------
 

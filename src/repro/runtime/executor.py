@@ -40,6 +40,8 @@ def _exec_make_chan(sched, g, instr: ins.MakeChan) -> None:
     ch = Channel(instr.capacity, label=instr.label)
     sched.heap.allocate(ch)
     ch.make_site = g.block_site()
+    if sched.tracer is not None:
+        sched.tracer.on_chan_op("chan-make", g, ch)
     # Resume first: the new object must be rooted (as the goroutine's
     # pending result) before the pacer hook may trigger a collection.
     sched.resume(g, ch)
@@ -53,6 +55,10 @@ def _exec_send(sched, g, instr: ins.Send) -> None:
         return
     done, wakeups = ch.try_send(instr.value)  # may panic: send on closed
     if done:
+        partner = wakeups[0].sudog.g.goid if wakeups else 0
+        ch.note_transfer(g.goid, partner)
+        if sched.tracer is not None:
+            sched.tracer.on_chan_op("chan-send", g, ch, partner=partner)
         sched.apply_wakeups(wakeups)
         sched.resume(g, None)
         return
@@ -69,6 +75,11 @@ def _exec_recv(sched, g, instr: ins.Recv) -> None:
         return
     done, value, ok, wakeups = ch.try_recv()
     if done:
+        partner = wakeups[0].sudog.g.goid if wakeups else 0
+        if ok:
+            ch.note_transfer(partner, g.goid)
+        if sched.tracer is not None:
+            sched.tracer.on_chan_op("chan-recv", g, ch, partner=partner)
         sched.apply_wakeups(wakeups)
         sched.resume(g, (value, ok))
         return
@@ -83,6 +94,9 @@ def _exec_close(sched, g, instr: ins.Close) -> None:
     if ch is None:
         raise CloseOfNilChannel()
     wakeups = ch.close()  # may panic: close of closed channel
+    if sched.tracer is not None:
+        sched.tracer.on_chan_op("chan-close", g, ch,
+                                extra={"woken": len(wakeups)})
     sched.apply_wakeups(wakeups)
     sched.resume(g, None)
 
@@ -108,15 +122,26 @@ def _exec_select(sched, g, instr: ins.Select) -> None:
         if isinstance(case, ins.SendCase):
             done, wakeups = ch.try_send(case.value)  # may panic if closed
             assert done, "ready send case must complete"
+            partner = wakeups[0].sudog.g.goid if wakeups else 0
+            ch.note_transfer(g.goid, partner)
+            if sched.tracer is not None:
+                sched.tracer.on_select(g, i, ch, "send", partner)
             sched.apply_wakeups(wakeups)
             sched.resume(g, (i, None, True))
         else:
             done, value, ok, wakeups = ch.try_recv()
             assert done, "ready recv case must complete"
+            partner = wakeups[0].sudog.g.goid if wakeups else 0
+            if ok:
+                ch.note_transfer(partner, g.goid)
+            if sched.tracer is not None:
+                sched.tracer.on_select(g, i, ch, "recv", partner)
             sched.apply_wakeups(wakeups)
             sched.resume(g, (i, value, ok))
         return
     if instr.default:
+        if sched.tracer is not None:
+            sched.tracer.on_select(g, ins.DEFAULT_CASE, None, "default")
         sched.resume(g, (ins.DEFAULT_CASE, None, False))
         return
     real_channels = tuple(
@@ -205,6 +230,8 @@ def _exec_lock(sched, g, instr: ins.Lock) -> None:
     target = instr.target
     if isinstance(target, RWMutex):
         if target.try_lock():
+            if sched.tracer is not None:
+                sched.tracer.on_sema("sema-acquire", g, target)
             sched.resume(g, None)
             return
         target.writers_waiting += 1
@@ -215,6 +242,8 @@ def _exec_lock(sched, g, instr: ins.Lock) -> None:
     if not isinstance(target, Mutex):
         raise InvalidInstruction(f"Lock target is not a mutex: {target!r}")
     if target.try_lock():
+        if sched.tracer is not None:
+            sched.tracer.on_sema("sema-acquire", g, target)
         sched.resume(g, None)
         return
     sched.semtable.enqueue(sched.mask_key(target.sema_key()), g)
@@ -226,11 +255,15 @@ def _exec_unlock(sched, g, instr: ins.Unlock) -> None:
     if isinstance(target, RWMutex):
         target.unlock()  # may panic
         _wake_rw_readers_or_writer(sched, target)
+        if sched.tracer is not None:
+            sched.tracer.on_sema("sema-release", g, target)
         sched.resume(g, None)
         return
     if not isinstance(target, Mutex):
         raise InvalidInstruction(f"Unlock target is not a mutex: {target!r}")
     _unlock_mutex(sched, target)
+    if sched.tracer is not None:
+        sched.tracer.on_sema("sema-release", g, target)
     sched.resume(g, None)
 
 
@@ -260,6 +293,8 @@ def _exec_rlock(sched, g, instr: ins.RLock) -> None:
     if not isinstance(rw, RWMutex):
         raise InvalidInstruction(f"RLock target is not a RWMutex: {rw!r}")
     if rw.try_rlock():
+        if sched.tracer is not None:
+            sched.tracer.on_sema("sema-acquire", g, rw)
         sched.resume(g, None)
         return
     sched.semtable.enqueue(sched.mask_key(rw.reader_sema_key()), g)
@@ -358,6 +393,8 @@ def _exec_sem_acquire(sched, g, instr: ins.SemAcquire) -> None:
         raise InvalidInstruction(f"not a semaphore: {sema!r}")
     if sema.count > 0:
         sema.count -= 1
+        if sched.tracer is not None:
+            sched.tracer.on_sema("sema-acquire", g, sema)
         sched.resume(g, None)
         return
     sched.semtable.enqueue(sched.mask_key(sema.addr), g)
@@ -371,6 +408,8 @@ def _exec_sem_release(sched, g, instr: ins.SemRelease) -> None:
         sched.wake(waiter, result=None)
     else:
         sema.count += 1
+    if sched.tracer is not None:
+        sched.tracer.on_sema("sema-release", g, sema)
     sched.resume(g, None)
 
 

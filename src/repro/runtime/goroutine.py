@@ -91,7 +91,7 @@ class Goroutine(HeapObject):
         "go_site", "parent_goid", "wake_at", "stack_bytes",
         "masked", "reported", "blocking_sema", "is_system",
         "spawned", "finished_value", "deadlock_label",
-        "panicking", "defers",
+        "panicking", "defers", "fn_name",
     )
 
     kind = "goroutine"
@@ -135,15 +135,19 @@ class Goroutine(HeapObject):
         #: instruction).  Run at normal exit and on panic unwind — but
         #: *never* when GOLF forcibly reclaims the goroutine.
         self.defers: List[Any] = []
+        #: Creation-site function name (the body function of the ``go``
+        #: statement); feeds :attr:`trace_label`.
+        self.fn_name: str = ""
 
     # -- lifecycle ---------------------------------------------------------
 
     def bind(self, gen: Any, go_site: str, parent_goid: int,
-             name: str = "") -> None:
+             name: str = "", fn_name: str = "") -> None:
         """Attach a fresh body to this descriptor (spawn or reuse)."""
         self.gen = gen
         self.go_site = go_site
         self.parent_goid = parent_goid
+        self.fn_name = fn_name
         if name:
             self.name = name
         self.status = GStatus.RUNNABLE
@@ -206,6 +210,12 @@ class Goroutine(HeapObject):
         self.defers = []
 
     # -- state queries -----------------------------------------------------
+
+    @property
+    def trace_label(self) -> str:
+        """Human-readable identity for user-facing text: creation-site
+        function name plus the spawn goid (``worker#7``)."""
+        return f"{self.fn_name or self.name}#{self.goid}"
 
     @property
     def is_blocked_detectably(self) -> bool:

@@ -86,7 +86,7 @@ def format_stack_dump(rt: Runtime, include_system: bool = False) -> str:
         state = g.status.value
         if g.wait_reason is not None:
             state = g.wait_reason.value
-        lines.append(f"goroutine {g.goid} [{state}]:")
+        lines.append(f"goroutine {g.trace_label} [{state}]:")
         stack = g.stack_trace() or ["<no stack>"]
         for frame in stack:
             lines.append(f"\t{frame}")

@@ -174,7 +174,8 @@ class Scheduler:
         g.goid = self._next_goid
         self._next_goid += 1
         g.bind(gen, go_site=go_site,
-               parent_goid=parent.goid if parent else 0, name=name)
+               parent_goid=parent.goid if parent else 0, name=name,
+               fn_name=getattr(fn, "__name__", ""))
         g.name = name or f"goroutine-{g.goid}"
         g.is_system = system
         self.goroutines_spawned += 1
@@ -184,8 +185,7 @@ class Scheduler:
         if self.main_g is None and not system:
             self.main_g = g
         if self.tracer is not None:
-            self.tracer.emit("go-create", g.goid,
-                             f"{g.name} at {go_site}")
+            self.tracer.on_create(g)
         if self.telemetry is not None:
             self.telemetry.on_spawn(g)
         return g
@@ -203,7 +203,7 @@ class Scheduler:
         g.blocked_on = blocked_on
         g.blocking_sema = blocking_sema
         if self.tracer is not None:
-            self.tracer.emit("go-park", g.goid, reason.value)
+            self.tracer.on_park(g, reason)
         if self.telemetry is not None:
             self.telemetry.on_park(g, reason)
 
@@ -248,7 +248,7 @@ class Scheduler:
         g.status = GStatus.RUNNABLE
         self.runq.append(g)
         if self.tracer is not None:
-            self.tracer.emit("go-wake", g.goid)
+            self.tracer.on_wake(g)
         if self.telemetry is not None:
             self.telemetry.on_wake(g)
 
@@ -308,7 +308,7 @@ class Scheduler:
         g.finish()
         self.gfree.append(g)
         if self.tracer is not None:
-            self.tracer.emit("go-end", g.goid)
+            self.tracer.on_finish(g)
         if self.telemetry is not None:
             self.telemetry.on_finish(g)
         if g is self.main_g:
@@ -342,7 +342,7 @@ class Scheduler:
         g.cleanup_after_deadlock()
         self.gfree.append(g)
         if self.tracer is not None:
-            self.tracer.emit("go-reclaim", g.goid)
+            self.tracer.on_reclaim(g)
 
     # ------------------------------------------------------------------
     # Chaos fault delivery (see repro.chaos)
@@ -519,7 +519,7 @@ class Scheduler:
                 state = g.wait_reason.value
             else:
                 state = g.status.value
-            lines.append(f"goroutine {g.goid} [{state}]:")
+            lines.append(f"goroutine {g.trace_label} [{state}]:")
             for frame in g.stack_trace() or ["<no stack>"]:
                 lines.append(f"\t{frame}")
             lines.append(f"created by {g.go_site}")
@@ -580,7 +580,7 @@ class Scheduler:
             if getattr(panic, "goroutine_scoped", False):
                 self.goroutine_panics.append((g.goid, panic.message))
                 if self.tracer is not None:
-                    self.tracer.emit("go-panic", g.goid, panic.message)
+                    self.tracer.on_panic(g, panic.message)
                 if self.telemetry is not None:
                     self.telemetry.on_goroutine_panic(g.goid, panic.message)
                 return
@@ -608,6 +608,8 @@ class Scheduler:
         cost = self._cost(instr)
         p.busy_until = self.clock.now + cost
         self.cpu_busy_ns += cost
+        if self.tracer is not None:
+            self.tracer.on_instr(p.pid, g, instr.MNEMONIC, cost)
 
     def _cost(self, instr: Instruction) -> int:
         if isinstance(instr, Work):

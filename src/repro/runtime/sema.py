@@ -59,6 +59,9 @@ class SemaTable:
         self._rng = rng or random.Random(0)
         self._root: Optional[_TreapNode] = None
         self._size = 0
+        #: Optional execution tracer (installed by ``enable_tracing``):
+        #: records blocked acquires and handoff grants.
+        self.tracer = None
 
     # -- treap mechanics ----------------------------------------------------
 
@@ -144,6 +147,8 @@ class SemaTable:
         assert self._found is not None
         self._found.waiters.append(g)
         self._size += 1
+        if self.tracer is not None:
+            self.tracer.on_sema_queue(key, g)
 
     def dequeue(self, key: int) -> Optional[Goroutine]:
         """Remove and return the longest-waiting goroutine for ``key``."""
@@ -154,6 +159,8 @@ class SemaTable:
         self._size -= 1
         if not node.waiters:
             self._root = self._delete(self._root, key)
+        if self.tracer is not None:
+            self.tracer.on_sema_dequeue(key, g)
         return g
 
     def waiters(self, key: int) -> List[Goroutine]:

@@ -1,88 +1,28 @@
-"""Runtime event tracing, in the spirit of ``GODEBUG`` logging.
+"""Compatibility shim: tracing moved to :mod:`repro.trace`.
 
-When enabled on a runtime (``rt.enable_tracing()``), the scheduler and
-collector emit structured events — goroutine lifecycle transitions, GC
-cycle summaries, deadlock reports — timestamped on the virtual clock.
-Useful for debugging programs and for the tests that assert scheduler
-behavior without poking at internals.
-
-The backing store is a bounded drop-oldest ring buffer (shared with the
-flight recorder in :mod:`repro.telemetry.recorder`): a long-running
-service keeps the *recent* history instead of freezing the trace at the
-moment the old append-only list filled up.  ``dropped`` counts evicted
-events.
+The original GODEBUG-style tracer grew into the structured execution
+tracer + Chrome exporter + provenance engine under ``src/repro/trace/``.
+This module re-exports the legacy names (``Tracer``, ``TraceEvent``, the
+event-kind constants) so existing imports keep working; new code should
+import from :mod:`repro.trace` directly.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from repro.trace.events import (  # noqa: F401
+    DEADLOCK,
+    GC_CYCLE,
+    GO_CREATE,
+    GO_END,
+    GO_PARK,
+    GO_RECLAIM,
+    GO_WAKE,
+    TraceEvent,
+)
+from repro.trace.tracer import ExecutionTracer as Tracer  # noqa: F401
 
-from repro.runtime.clock import Clock
-from repro.telemetry.recorder import RingBuffer
-
-#: Event kinds.
-GO_CREATE = "go-create"
-GO_PARK = "go-park"
-GO_WAKE = "go-wake"
-GO_END = "go-end"
-GO_RECLAIM = "go-reclaim"
-GC_CYCLE = "gc-cycle"
-DEADLOCK = "partial-deadlock"
-
-
-class TraceEvent:
-    """One timestamped runtime event."""
-
-    __slots__ = ("t_ns", "kind", "goid", "detail")
-
-    def __init__(self, t_ns: int, kind: str, goid: int, detail: str):
-        self.t_ns = t_ns
-        self.kind = kind
-        self.goid = goid
-        self.detail = detail
-
-    def format(self) -> str:
-        who = f" g{self.goid}" if self.goid else ""
-        detail = f" {self.detail}" if self.detail else ""
-        return f"[{self.t_ns:>12d}ns] {self.kind}{who}{detail}"
-
-    def __repr__(self) -> str:
-        return f"<{self.format()}>"
-
-
-class Tracer:
-    """Collects :class:`TraceEvent` records in a drop-oldest ring of
-    ``capacity`` events."""
-
-    def __init__(self, clock: Clock, capacity: int = 100_000):
-        self.clock = clock
-        self.capacity = capacity
-        self._ring = RingBuffer(capacity)
-
-    def emit(self, kind: str, goid: int = 0, detail: str = "") -> None:
-        self._ring.append(TraceEvent(self.clock.now, kind, goid, detail))
-
-    @property
-    def events(self) -> List[TraceEvent]:
-        """Buffered events, oldest first."""
-        return list(self._ring)
-
-    @property
-    def dropped(self) -> int:
-        return self._ring.dropped
-
-    def of_kind(self, kind: str) -> List[TraceEvent]:
-        return [e for e in self._ring if e.kind == kind]
-
-    def for_goroutine(self, goid: int) -> List[TraceEvent]:
-        return [e for e in self._ring if e.goid == goid]
-
-    def format(self, limit: Optional[int] = None) -> str:
-        events = list(self._ring) if limit is None else self._ring.last(limit)
-        lines = [event.format() for event in events]
-        if self.dropped:
-            lines.append(f"... {self.dropped} events dropped (capacity)")
-        return "\n".join(lines)
-
-    def __len__(self) -> int:
-        return len(self._ring)
+__all__ = [
+    "Tracer", "TraceEvent",
+    "GO_CREATE", "GO_PARK", "GO_WAKE", "GO_END", "GO_RECLAIM",
+    "GC_CYCLE", "DEADLOCK",
+]

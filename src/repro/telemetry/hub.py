@@ -20,7 +20,8 @@ which is exactly what a fleet-level scrape would see.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import weakref
+from typing import Dict, List, Optional
 
 from repro.telemetry import recorder as rec
 from repro.telemetry.metrics import (
@@ -105,6 +106,9 @@ class TelemetryHub:
         self.sampler = GoroutineProfileSampler()
         self.clock = None
         self.runtimes_attached = 0
+        #: Weak refs to attached runtimes, for drop-count scraping (weak:
+        #: a hub outliving its runtimes must not keep them resident).
+        self._runtimes: List[weakref.ref] = []
         self._build_instruments()
 
     def _build_instruments(self) -> None:
@@ -260,6 +264,15 @@ class TelemetryHub:
         self.clock_ns = reg.gauge(
             "repro_clock_ns", "Virtual clock at the last snapshot",
             unit="ns")
+        # Event-loss visibility: ring-buffer evictions in the flight
+        # recorder and in any execution tracer of an attached runtime.
+        self.recorder_dropped = reg.gauge(
+            "repro_recorder_dropped_total",
+            "Flight-recorder events evicted by the drop-oldest ring")
+        self.trace_dropped = reg.gauge(
+            "repro_trace_dropped_total",
+            "Execution-tracer events evicted by the drop-oldest ring, "
+            "summed over attached runtimes")
 
     # -- attachment ----------------------------------------------------------
 
@@ -268,6 +281,7 @@ class TelemetryHub:
         if rt.sched.telemetry is not self:
             rt.sched.telemetry = self
             self.runtimes_attached += 1
+            self._runtimes.append(weakref.ref(rt))
         self.clock = rt.clock
         self.recorder.clock = rt.clock
         return self
@@ -382,7 +396,7 @@ class TelemetryHub:
             severity=rec.WARN)
         self.recorder.incident(
             "leak-report",
-            f"goroutine {report.goid} [{report.wait_reason}] "
+            f"goroutine {report.glabel} [{report.wait_reason}] "
             f"spawned {normalize_site(report.go_site)} "
             f"blocked {normalize_site(report.block_site)} "
             f"fingerprint {record.fingerprint}")
@@ -429,10 +443,27 @@ class TelemetryHub:
 
     # -- outputs -------------------------------------------------------------
 
+    def _sync_drop_counts(self) -> None:
+        """Refresh the event-loss gauges from their ring buffers."""
+        self.recorder_dropped.set(self.recorder.dropped)
+        trace_dropped = 0
+        live: List[weakref.ref] = []
+        for ref in self._runtimes:
+            rt = ref()
+            if rt is None:
+                continue
+            live.append(ref)
+            tracer = rt.sched.tracer
+            if tracer is not None:
+                trace_dropped += tracer.dropped
+        self._runtimes = live
+        self.trace_dropped.set(trace_dropped)
+
     def snapshot(self) -> dict:
         """One JSON-serializable artifact covering every surface."""
         if self.clock is not None:
             self.clock_ns.set(self.clock.now)
+        self._sync_drop_counts()
         return {
             "metrics": self.registry.snapshot(),
             "recorder": {
@@ -447,4 +478,5 @@ class TelemetryHub:
     def render_prometheus(self) -> str:
         if self.clock is not None:
             self.clock_ns.set(self.clock.now)
+        self._sync_drop_counts()
         return self.registry.render_prometheus()

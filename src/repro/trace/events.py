@@ -1,0 +1,146 @@
+"""The structured trace-event vocabulary.
+
+Every event the execution tracer records is one :class:`TraceEvent` with
+a *fixed* kind drawn from the vocabulary below (see ``docs/TRACING.md``
+for the full table).  The legacy fields (``t_ns``, ``kind``, ``goid``,
+``detail``) keep the historical GODEBUG-style text rendering stable; the
+``args`` mapping carries the structured payload the Chrome exporter and
+the provenance engine consume (partner goids, channel addresses, phase
+names, instruction durations).
+
+Timestamps come exclusively from the virtual clock, so at a fixed
+``(program, procs, seed)`` two runs produce byte-identical streams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+# -- goroutine lifecycle -----------------------------------------------------
+GO_CREATE = "go-create"
+GO_PARK = "go-park"
+GO_WAKE = "go-wake"
+GO_END = "go-end"
+GO_RECLAIM = "go-reclaim"
+GO_PANIC = "go-panic"
+
+# -- per-core execution ------------------------------------------------------
+INSTR = "instr"
+
+# -- channel operations ------------------------------------------------------
+CHAN_MAKE = "chan-make"
+CHAN_SEND = "chan-send"
+CHAN_RECV = "chan-recv"
+CHAN_CLOSE = "chan-close"
+SELECT_RESOLVE = "select-resolve"
+
+# -- semaphores (the primitive under every sync type) ------------------------
+SEMA_ACQUIRE = "sema-acquire"
+SEMA_RELEASE = "sema-release"
+
+# -- garbage collection ------------------------------------------------------
+GC_PHASE = "gc-phase"
+GC_CYCLE = "gc-cycle"
+BARRIER_SHADE = "barrier-shade"
+
+# -- verdicts and chaos ------------------------------------------------------
+DEADLOCK = "partial-deadlock"
+FAULT_INJECT = "fault-inject"
+
+#: The complete, fixed event vocabulary.
+VOCABULARY = frozenset({
+    GO_CREATE, GO_PARK, GO_WAKE, GO_END, GO_RECLAIM, GO_PANIC,
+    INSTR,
+    CHAN_MAKE, CHAN_SEND, CHAN_RECV, CHAN_CLOSE, SELECT_RESOLVE,
+    SEMA_ACQUIRE, SEMA_RELEASE,
+    GC_PHASE, GC_CYCLE, BARRIER_SHADE,
+    DEADLOCK, FAULT_INJECT,
+})
+
+
+class TraceEvent:
+    """One timestamped runtime event.
+
+    ``pid`` is the virtual processor the event is attributed to (``-1``
+    when the event is not tied to a core); ``args`` is the structured
+    payload (may be ``None`` for bare lifecycle events).
+    """
+
+    __slots__ = ("t_ns", "kind", "goid", "detail", "pid", "args")
+
+    def __init__(self, t_ns: int, kind: str, goid: int, detail: str,
+                 pid: int = -1, args: Optional[Dict[str, Any]] = None):
+        self.t_ns = t_ns
+        self.kind = kind
+        self.goid = goid
+        self.detail = detail
+        self.pid = pid
+        self.args = args
+
+    def format(self) -> str:
+        who = f" g{self.goid}" if self.goid else ""
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.t_ns:>12d}ns] {self.kind}{who}{detail}"
+
+    def as_dict(self) -> dict:
+        out: Dict[str, Any] = {
+            "t_ns": self.t_ns,
+            "kind": self.kind,
+            "goid": self.goid,
+            "detail": self.detail,
+        }
+        if self.pid >= 0:
+            out["pid"] = self.pid
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    def __repr__(self) -> str:
+        return f"<{self.format()}>"
+
+
+def describe_object(obj: Any) -> Dict[str, Any]:
+    """A deterministic, JSON-safe description of a concurrency object.
+
+    Used for ``go-park`` payloads (the ``B(g)`` set at park time) and
+    for provenance evidence.  Channels get their full observable state;
+    the ``ε`` sentinel (nil-channel / zero-case-select waits, address 0,
+    never heap-allocated) is named explicitly.
+    """
+    kind = getattr(obj, "kind", "object")
+    addr = getattr(obj, "addr", 0)
+    if addr == 0 and getattr(obj, "size", None) == 0 and kind == "object":
+        return {"kind": "epsilon", "addr": 0}
+    desc: Dict[str, Any] = {"kind": kind, "addr": addr}
+    label = getattr(obj, "label", "")
+    if label:
+        desc["label"] = label
+    if kind == "chan":
+        desc.update({
+            "capacity": obj.capacity,
+            "buffered": len(obj.buffer),
+            "closed": obj.closed,
+            "waiting_senders": obj.waiting_senders(),
+            "waiting_receivers": obj.waiting_receivers(),
+        })
+        if obj.make_site:
+            desc["make_site"] = obj.make_site
+    return desc
+
+
+def short_object(desc: Dict[str, Any]) -> str:
+    """One-line rendering of a :func:`describe_object` dict."""
+    kind = desc.get("kind", "object")
+    if kind == "epsilon":
+        return "epsilon (nil channel / zero-case select)"
+    bits = [f"{kind} 0x{desc.get('addr', 0):x}"]
+    if desc.get("label"):
+        bits.append(f"{desc['label']!r}")
+    if kind == "chan":
+        state = "closed" if desc.get("closed") else "open"
+        bits.append(
+            f"cap={desc.get('capacity', 0)} "
+            f"buffered={desc.get('buffered', 0)} {state} "
+            f"sendq={desc.get('waiting_senders', 0)} "
+            f"recvq={desc.get('waiting_receivers', 0)}")
+    return " ".join(bits)

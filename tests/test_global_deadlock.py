@@ -31,7 +31,7 @@ class TestGlobalDeadlock:
             rt.run()
         err = excinfo.value
         assert err.num_goroutines == 2
-        assert "goroutine 1 [chan receive]" in err.dump
+        assert "goroutine main#1 [chan receive]" in err.dump
         assert "created by" in err.dump
         assert "all goroutines are asleep" in str(err)
 

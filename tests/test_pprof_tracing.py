@@ -122,7 +122,8 @@ class TestGoroutineProfileEdgeStates:
         assert "deadlocked" in text
         # The stack dump prints the wait reason (Go style), not the
         # status — the kept goroutine must still be listed.
-        assert f"goroutine {kept[0].goid} [chan send]" in format_stack_dump(rt)
+        assert (f"goroutine {kept[0].trace_label} [chan send]"
+                in format_stack_dump(rt))
 
     def test_panicking_goroutine_renders(self, rt):
         self._leak_one(rt)
