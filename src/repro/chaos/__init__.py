@@ -28,6 +28,13 @@ Typical use::
 
 from repro.chaos.injector import FaultInjector
 from repro.chaos.plan import FaultKind, FaultPlan, FaultRecord
+from repro.chaos.recovery import (
+    RECOVERY_P99_SLO_NS,
+    RecoveryReport,
+    RecoveryScheduleResult,
+    SUCCESS_RATE_SLO,
+    run_recovery_campaign,
+)
 from repro.chaos.report import (
     ChaosReport,
     ScheduleResult,
@@ -42,10 +49,15 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultRecord",
+    "RECOVERY_P99_SLO_NS",
+    "RecoveryReport",
+    "RecoveryScheduleResult",
     "SCENARIOS",
+    "SUCCESS_RATE_SLO",
     "Scenario",
     "ScheduleResult",
     "get_scenario",
     "run_chaos_campaign",
     "run_chaos_schedule",
+    "run_recovery_campaign",
 ]

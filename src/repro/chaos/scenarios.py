@@ -174,6 +174,25 @@ SCENARIOS: Dict[str, Scenario] = {
         downstream_slow_rate=0.30,
         slow_extra_ns=(80 * MILLISECOND, 400 * MILLISECOND),
     ),
+    # Recovery chaos: worker panics and stray wakeups layered on top of
+    # the checkpointed pipeline's deterministic poison wedges.  The
+    # recovery campaign drives this against the checkpoint/restart
+    # machinery: wedges must still be condemned, rollbacks must still
+    # land, and the zero-data-loss oracle must stay clean while faults
+    # kill workers mid-job.  Mild rates: the SLO under test is the
+    # recovery path, not pool extinction.
+    "recovery": Scenario(
+        "recovery",
+        rate=0.004,
+        weights={
+            FaultKind.PANIC_SELF: 2,
+            FaultKind.PANIC_BLOCKED: 1,
+            FaultKind.SPURIOUS_WAKE: 1,
+            FaultKind.CLOCK_JITTER: 1,
+            FaultKind.FORCE_GC: 1,
+        },
+        max_faults=8,
+    ),
     # Everything at once — the default campaign scenario.
     "mixed": Scenario(
         "mixed",

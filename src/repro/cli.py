@@ -131,6 +131,80 @@ def _cmd_chaos(args) -> str:
     return text
 
 
+def _cmd_daemon(args) -> str:
+    """The recovery-smoke gate: daemon SLO + rollback e2e + campaign."""
+    import json
+
+    from repro.chaos import run_recovery_campaign
+    from repro.experiments.latency import (
+        format_daemon_sweep,
+        run_daemon_latency_sweep,
+    )
+    from repro.service.checkpointed import CheckpointedConfig, run_checkpointed
+    from repro.telemetry import get_default_hub
+
+    if args.seeds < 1:
+        raise SystemExit("daemon: --seeds must be at least 1")
+    failures = []
+
+    # 1. Detection-latency SLO: the daemon at 50ms (virtual) must beat
+    #    the 100ms GC-cadence baseline on p99 time-to-detection.
+    sweep = run_daemon_latency_sweep(
+        daemon_intervals_ms=(5.0, 20.0, 50.0, 200.0), gc_interval_ms=100.0)
+    baseline = sweep[0]
+    by_daemon = {r.daemon_interval_ms: r for r in sweep[1:]}
+    if not by_daemon[50.0].p99_ms() < baseline.p99_ms():
+        failures.append(
+            f"latency SLO: daemon@50ms p99 {by_daemon[50.0].p99_ms():.2f}ms "
+            f"not below GC-cadence baseline {baseline.p99_ms():.2f}ms")
+    if any(r.detected != r.leaks for r in sweep):
+        failures.append("latency SLO: not every leak detected")
+
+    # 2. Checkpoint/rollback end to end, no chaos: poison wedges must be
+    #    condemned, the subsystem restarted, and every job drained with
+    #    zero data loss.
+    e2e = run_checkpointed(CheckpointedConfig(seed=args.base_seed))
+    if not e2e.clean:
+        failures.append(f"checkpoint e2e not clean: {e2e!r}")
+    if e2e.recoveries < 1:
+        failures.append("checkpoint e2e: no recovery exercised")
+
+    # 3. The chaos recovery campaign, gated on its SLOs (>=95% restart
+    #    success, zero data loss, recovery-time p99 bound).
+    campaign = run_recovery_campaign(
+        seeds=args.seeds, base_seed=args.base_seed,
+        telemetry=get_default_hub())
+    artifact_dir = args.json_dir
+    os.makedirs(artifact_dir, exist_ok=True)
+    path = os.path.join(
+        artifact_dir,
+        f"recovery-s{args.base_seed}-n{args.seeds}.json")
+    with open(path, "w") as fh:
+        json.dump(campaign.to_dict(), fh, indent=2)
+    if not campaign.meets_slo:
+        failures.append("recovery campaign missed its SLOs")
+
+    text = "\n".join([
+        "-- detection-latency SLO curve (daemon vs GC cadence)",
+        format_daemon_sweep(sweep),
+        "",
+        "-- checkpoint/rollback e2e",
+        f"  {e2e!r}",
+        f"  recoveries={e2e.recoveries} redeliveries={e2e.redeliveries} "
+        f"checkpoints={e2e.checkpoints_taken} "
+        f"daemon_checks={e2e.daemon_checks}",
+        "",
+        "-- recovery chaos campaign",
+        campaign.format(),
+        f"  artifact        : {path}",
+    ])
+    if failures:
+        raise SystemExit(
+            text + "\n" + "\n".join(f"FAIL: {f}" for f in failures)
+            + "\ndaemon recovery smoke FAILED")
+    return text
+
+
 def _cmd_obs(args) -> str:
     from repro.telemetry import (
         DEBUG,
@@ -270,6 +344,7 @@ _COMMANDS: Dict[str, Callable] = {
     "ablations": _cmd_ablations,
     "tester": _cmd_tester,
     "chaos": _cmd_chaos,
+    "daemon": _cmd_daemon,
     "obs": _cmd_obs,
     "trace": _cmd_trace,
     "vet": _cmd_vet,
@@ -351,6 +426,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=2)
     p.add_argument("--traces", action="store_true",
                    help="include per-schedule fault traces in the JSON")
+    p.add_argument("--json-dir", default="benchmarks/out",
+                   help="directory for the campaign JSON artifact")
+
+    p = add("daemon", help="recovery smoke: daemon detection-latency SLO, "
+                           "checkpoint/rollback e2e, and the chaos recovery "
+                           "campaign; exits non-zero on any missed SLO")
+    p.add_argument("--seeds", type=int, default=50,
+                   help="recovery campaign schedules to run")
+    p.add_argument("--base-seed", type=int, default=0)
     p.add_argument("--json-dir", default="benchmarks/out",
                    help="directory for the campaign JSON artifact")
 
@@ -447,11 +531,12 @@ def main(argv=None) -> int:
         # this hub (Runtime.__init__ auto-attaches the default hub).
         set_default_hub(hub)
     if args.command == "all":
-        # tester, chaos, obs, trace, vet, and gc-equiv have their own
-        # flags and fail semantics; they run as explicit subcommands only.
+        # tester, chaos, daemon, obs, trace, vet, and gc-equiv have their
+        # own flags and fail semantics; they run as explicit subcommands
+        # only.
         commands = [c for c in _COMMANDS
-                    if c not in ("tester", "chaos", "obs", "trace", "vet",
-                                 "gc-equiv")]
+                    if c not in ("tester", "chaos", "daemon", "obs",
+                                 "trace", "vet", "gc-equiv")]
     else:
         commands = [args.command]
     try:

@@ -1,10 +1,20 @@
 """The GOLF core: reachable-liveness detection, masking, recovery."""
 
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    RecoveryRecord,
+    WorkerSpec,
+)
 from repro.core.config import GolfConfig
 from repro.core.detector import DetectionResult, detect
 from repro.core.reports import DeadlockReport, ReportLog
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "RecoveryRecord",
+    "WorkerSpec",
     "GolfConfig",
     "DetectionResult",
     "detect",

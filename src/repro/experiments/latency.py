@@ -6,11 +6,17 @@ the cost that *does* move is time-to-detection.  This experiment leaks
 goroutines at known virtual times under different periodic-GC intervals
 and detection cadences, and reports the latency distribution from leak
 manifestation to GOLF report.
+
+The daemon sweep (:func:`run_daemon_latency_sweep`) adds the detection
+daemon's timer-driven fixpoint to the picture: with GC pinned at a slow
+operational cadence, the daemon's interval — not the GC interval —
+bounds time-to-detection, which is the SLO the always-on daemon exists
+to provide.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import GolfConfig
 from repro.runtime.api import Runtime
@@ -20,14 +26,21 @@ from repro.service.stats import percentile
 
 
 class LatencyResult:
-    """Detection latencies for one (gc_interval, detect_every) setting."""
+    """Detection latencies for one (gc_interval, detect_every) setting.
+
+    ``daemon_interval_ms`` is None for GC-cadence-only runs; when set,
+    the detection daemon was running at that interval alongside the
+    periodic GC.
+    """
 
     __slots__ = ("gc_interval_ms", "detect_every", "latencies_ns",
-                 "leaks", "detected")
+                 "leaks", "detected", "daemon_interval_ms")
 
-    def __init__(self, gc_interval_ms: float, detect_every: int):
+    def __init__(self, gc_interval_ms: float, detect_every: int,
+                 daemon_interval_ms: Optional[float] = None):
         self.gc_interval_ms = gc_interval_ms
         self.detect_every = detect_every
+        self.daemon_interval_ms = daemon_interval_ms
         self.latencies_ns: List[int] = []
         self.leaks = 0
         self.detected = 0
@@ -41,9 +54,11 @@ class LatencyResult:
         return percentile(sorted(self.latencies_ns), 0.99) / 1e6
 
     def __repr__(self) -> str:
+        daemon = (f" daemon={self.daemon_interval_ms}ms"
+                  if self.daemon_interval_ms is not None else "")
         return (
-            f"<latency gc={self.gc_interval_ms}ms every={self.detect_every} "
-            f"mean={self.mean_ms():.2f}ms>"
+            f"<latency gc={self.gc_interval_ms}ms every={self.detect_every}"
+            f"{daemon} mean={self.mean_ms():.2f}ms>"
         )
 
 
@@ -53,14 +68,18 @@ def run_detection_latency(
     leaks: int = 60,
     spacing_us: int = 500,
     seed: int = 0,
+    daemon_interval_ms: Optional[float] = None,
 ) -> LatencyResult:
     """Leak ``leaks`` goroutines ``spacing_us`` apart; measure report lag.
 
     The leak's *manifestation time* is when its goroutine parks on the
     orphaned channel (recorded just before the blocking send); the
-    report timestamp comes from the collector.
+    report timestamp comes from the collector.  With
+    ``daemon_interval_ms`` set, the detection daemon also runs its
+    timer-driven fixpoint, so reports land at whichever of the two
+    cadences fires first.
     """
-    result = LatencyResult(gc_interval_ms, detect_every)
+    result = LatencyResult(gc_interval_ms, detect_every, daemon_interval_ms)
     manifested: Dict[str, int] = {}
 
     def on_report(report):
@@ -72,6 +91,8 @@ def run_detection_latency(
     config = GolfConfig(detect_every=detect_every, on_report=on_report)
     rt = Runtime(procs=2, seed=seed, config=config)
     rt.enable_periodic_gc(int(gc_interval_ms * MILLISECOND))
+    if daemon_interval_ms is not None:
+        rt.detect_partial_deadlock(interval_ms=daemon_interval_ms)
 
     def main():
         def leaker(c, tag):
@@ -85,11 +106,16 @@ def run_detection_latency(
             yield Go(leaker, ch, tag, name=tag)
             del ch
             yield Sleep(spacing_us * MICROSECOND)
-        # Let the periodic GC catch the tail.
-        yield Sleep(20 * MILLISECOND)
+        # Let the slower of the two detection cadences catch the tail.
+        tail_ms = gc_interval_ms
+        if daemon_interval_ms is not None:
+            tail_ms = max(tail_ms, daemon_interval_ms)
+        yield Sleep(int((20.0 + tail_ms) * MILLISECOND))
 
     rt.spawn_main(main)
     rt.run(until_ns=10 * SECOND, max_instructions=10_000_000)
+    if daemon_interval_ms is not None:
+        rt.stop_partial_deadlock_detection()
     rt.gc_until_quiescent()
     result.leaks = leaks
     return result
@@ -109,6 +135,47 @@ def run_latency_sweep(
                 gc_interval_ms=interval, detect_every=every,
                 leaks=leaks, seed=seed))
     return results
+
+
+def run_daemon_latency_sweep(
+    daemon_intervals_ms: Sequence[float] = (5.0, 20.0, 50.0, 200.0),
+    gc_interval_ms: float = 100.0,
+    leaks: int = 60,
+    seed: int = 0,
+) -> List[LatencyResult]:
+    """The daemon SLO curve: latency vs daemon interval, plus baseline.
+
+    GC is pinned at a slow operational cadence (default 100ms, the
+    controlled service's production setting); the first row is the
+    GC-cadence-only baseline, the rest run the daemon at each interval.
+    Detection latency should track ``min(daemon interval, GC interval)``
+    — the daemon rows below the GC cadence beat the baseline, the rows
+    above it collapse onto it.
+    """
+    results = [run_detection_latency(
+        gc_interval_ms=gc_interval_ms, leaks=leaks, seed=seed)]
+    for interval in daemon_intervals_ms:
+        results.append(run_detection_latency(
+            gc_interval_ms=gc_interval_ms, leaks=leaks, seed=seed,
+            daemon_interval_ms=interval))
+    return results
+
+
+def format_daemon_sweep(results: List[LatencyResult]) -> str:
+    lines = [f"{'daemon':>10s} {'gc interval':>12s} "
+             f"{'detected':>9s} {'mean lat':>9s} {'p99 lat':>9s}"]
+    for r in results:
+        daemon = (f"{r.daemon_interval_ms:>8.1f}ms"
+                  if r.daemon_interval_ms is not None else f"{'off':>10s}")
+        lines.append(
+            f"{daemon} {r.gc_interval_ms:>10.1f}ms "
+            f"{r.detected:>4d}/{r.leaks:<4d} "
+            f"{r.mean_ms():>7.2f}ms {r.p99_ms():>7.2f}ms"
+        )
+    lines.append("(detection latency tracks min(daemon interval, GC "
+                 "interval): the always-on daemon bounds time-to-detection "
+                 "independently of GC cadence)")
+    return "\n".join(lines)
 
 
 def format_latency_sweep(results: List[LatencyResult]) -> str:

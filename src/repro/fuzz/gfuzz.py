@@ -93,6 +93,7 @@ def fuzz_program(
     max_instructions: int = 2_000_000,
     config_factory: Optional[Callable[[], GolfConfig]] = None,
     chaos_scenario: Optional[str] = None,
+    daemon_interval_ms: Optional[float] = 5.0,
 ) -> FuzzResult:
     """Run ``main_factory()`` under ``profiles`` select orderings.
 
@@ -107,6 +108,12 @@ def fuzz_program(
     stays reproducible).  Select-ordering exploration and fault
     injection perturb different axes — orderings choose *which* path
     executes, faults break things *along* the path.
+
+    Fuzz mode auto-starts the detection daemon (default 5ms interval):
+    leaks manifest mid-run under whichever ordering exposed them, and
+    the timer-driven fixpoint reports them before the end-of-run GC —
+    short-budget runs can't time out before detection.  Pass
+    ``daemon_interval_ms=None`` to fuzz without the daemon.
     """
     if profiles < 1:
         raise ValueError("need at least one profile")
@@ -123,12 +130,17 @@ def fuzz_program(
                              get_scenario(chaos_scenario))
             FaultInjector(rt, plan).install()
         rt.spawn_main(main_factory())
+        if daemon_interval_ms is not None:
+            rt.detect_partial_deadlock(interval_ms=daemon_interval_ms)
         try:
             status = rt.run(until_ns=budget_ns,
                             max_instructions=max_instructions)
         except ReproError as err:
             status = f"error: {err}"
-        else:
+        finally:
+            if daemon_interval_ms is not None:
+                rt.stop_partial_deadlock_detection()
+        if not status.startswith("error"):
             rt.gc_until_quiescent()
         result.statuses[profile_id] = status
         result.by_profile[profile_id] = {

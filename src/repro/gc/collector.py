@@ -85,6 +85,12 @@ class Collector:
         self._gc_waiters: List[Goroutine] = []
         self._queued_waiters: List[Goroutine] = []
         self._gc_requested = False
+        #: Optional checkpoint/restart recovery manager (see
+        #: :mod:`repro.core.checkpoint`).  When set, condemned goroutines
+        #: belonging to a registered subsystem are claimed for rollback
+        #: instead of plain reclaim, and pending rollbacks run at cycle
+        #: completion via :meth:`~CheckpointManager.process_pending`.
+        self.recovery_manager = None
         # Wire the runtime hooks.
         sched.gc_hook = self.collect
         sched.alloc_hook = self.maybe_collect
@@ -211,6 +217,42 @@ class Collector:
         self.sched.stall_all(total_stall)
 
         self._finish_cycle_stats(cs)
+        if self.recovery_manager is not None:
+            self.recovery_manager.process_pending()
+        return cs
+
+    def detect_only(self, reason: str = "daemon") -> Optional[CycleStats]:
+        """Run the GOLF liveness fixpoint without collecting.
+
+        The detection daemon's entry point (paper §6.2 argues detection
+        is sound on *any* cycle; this decouples it from GC cadence
+        entirely): a fresh mark epoch, the full reachable-liveness
+        fixpoint over the current candidates, and the shared
+        report/recovery path — but no sweep, no pause accounting, and no
+        virtual-time charge, so running it between GC cycles never
+        perturbs the mutator schedule.  Goroutines condemned here join
+        ``_pending_reclaim`` and are freed by the next real cycle (or are
+        claimed by checkpoint/restart recovery).
+
+        Returns the detection stats, or ``None`` when skipped because an
+        incremental cycle is in flight (its own mark termination will
+        render the verdicts; a second concurrent fixpoint would fight
+        over mark bits and masks).
+        """
+        if not self.config.golf:
+            return None
+        if self.phase is not GCPhase.IDLE:
+            return None
+        cs = CycleStats(self.stats.num_gc, reason, self.config.mode,
+                        self.clock.now)
+        cs.heap_bytes_before = self.heap.live_bytes
+        cs.heap_objects_before = self.heap.live_objects
+        self.heap.begin_cycle()
+        self._golf_cycle(cs)
+        cs.heap_bytes_after = self.heap.live_bytes
+        cs.heap_objects_after = self.heap.live_objects
+        if self.recovery_manager is not None:
+            self.recovery_manager.process_pending()
         return cs
 
     def _baseline_cycle(self, cs: CycleStats) -> None:
@@ -294,7 +336,16 @@ class Collector:
                     cs.deadlocks_kept_for_finalizers += 1
             else:
                 g.status = GStatus.PENDING_RECLAIM
-                self._pending_reclaim.append(g)
+                if (self.recovery_manager is not None
+                        and self.recovery_manager.on_condemned(
+                            g, report, reason=cs.reason)):
+                    # Claimed by checkpoint/restart recovery: the manager
+                    # tears the whole subsystem down (this goroutine
+                    # included) at cycle completion, so the two-cycle
+                    # reclaim must not also free the descriptor.
+                    pass
+                else:
+                    self._pending_reclaim.append(g)
             if self.sched.telemetry is not None:
                 self.sched.telemetry.on_leak_report(report, kept=kept)
 
@@ -519,6 +570,8 @@ class Collector:
         self._finish_cycle_stats(cs)
         self._transition(GCPhase.IDLE)
         self._cycle = None
+        if self.recovery_manager is not None:
+            self.recovery_manager.process_pending()
 
         waiters, self._gc_waiters = self._gc_waiters, []
         for g in waiters:

@@ -13,7 +13,9 @@ the current cycle iff its ``_mark_epoch`` equals the heap's epoch, so
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple,
+)
 
 from repro.runtime.objects import HeapObject, iter_heap_refs
 
@@ -160,6 +162,33 @@ class Heap:
             self._pinned.discard(obj.addr)
             self._gc_aged.pop(obj.addr, None)
             obj._heap = None
+
+    # -- checkpoint snapshot/restore --------------------------------------
+
+    def snapshot_objects(self, objs: Iterable[HeapObject]) -> Dict[int, Any]:
+        """Record the restorable payload of ``objs`` for a checkpoint.
+
+        Returns ``{addr: state}`` using each object's
+        :meth:`~repro.runtime.objects.HeapObject.checkpoint_state`.  The
+        caller (checkpoint/restart recovery) is responsible for keeping
+        the objects alive across the checkpoint's lifetime — registered
+        subsystem objects are pinned for exactly this reason.
+        """
+        return {obj.addr: obj.checkpoint_state() for obj in objs}
+
+    def restore_objects(self, objs: Iterable[HeapObject],
+                        snapshot: Dict[int, Any]) -> None:
+        """Roll ``objs`` back to a snapshot taken by
+        :meth:`snapshot_objects`.
+
+        Objects without an entry (registered after the checkpoint) are
+        left untouched.  Restores route stores through each object's
+        write barrier, so a rollback landing while the incremental
+        collector marks stays tricolor-sound.
+        """
+        for obj in objs:
+            if obj.addr in snapshot:
+                obj.restore_state(snapshot[obj.addr])
 
     # -- introspection ----------------------------------------------------
 

@@ -71,6 +71,9 @@ class Runtime:
         default_hub = get_default_hub()
         if default_hub is not None:
             default_hub.attach(self)
+        #: The detection daemon, once started (see
+        #: :meth:`detect_partial_deadlock`).
+        self._daemon = None
 
     # -- program setup ------------------------------------------------------
 
@@ -181,6 +184,41 @@ class Runtime:
 
         self.sched.spawn(forcegc_loop, name="forcegc", system=True,
                          go_site="<runtime>")
+
+    # -- detection daemon -----------------------------------------------------
+
+    def detect_partial_deadlock(self, interval_ms: float = 50.0):
+        """Start the always-on partial-deadlock detection daemon.
+
+        Spawns a daemon-class system goroutine that runs the GOLF
+        liveness fixpoint every ``interval_ms`` virtual milliseconds,
+        independent of GC cadence, bounding detection latency by the
+        interval (ADVOCATE's ``DetectPartialDeadlock`` API).  Returns
+        the :class:`~repro.daemon.DetectionDaemon` controller.
+
+        Raises :class:`~repro.daemon.DaemonError` if a daemon is already
+        running (double-start) or the collector has GOLF disabled.
+        Stop-then-start is always legal and spawns a fresh daemon.
+        """
+        from repro.daemon import DaemonError, DetectionDaemon
+
+        if self._daemon is not None and self._daemon.running:
+            raise DaemonError("detection daemon already running")
+        daemon = DetectionDaemon(
+            self, interval_ns=int(interval_ms * MILLISECOND))
+        daemon.start()
+        self._daemon = daemon
+        return daemon
+
+    def stop_partial_deadlock_detection(self) -> None:
+        """Stop the detection daemon; a no-op when none is running."""
+        if self._daemon is not None:
+            self._daemon.stop()
+
+    @property
+    def detection_daemon(self):
+        """The daemon controller, or None if never started."""
+        return self._daemon
 
     def shutdown(self) -> None:
         """Tear down the simulated process.

@@ -120,6 +120,24 @@ class Channel(HeapObject):
             if sd.active:
                 yield from iter_heap_refs(sd.value)
 
+    # -- checkpoint/restart support ------------------------------------------
+
+    def checkpoint_state(self) -> Any:
+        """Snapshot the channel's message state (buffer + closed flag).
+
+        Wait queues are deliberately *not* captured: sudogs belong to
+        goroutines, and rollback either kills their owners (subsystem
+        workers) or must leave them parked untouched (outside clients
+        blocked on the subsystem's channels).
+        """
+        return {"buffer": list(self.buffer), "closed": self.closed}
+
+    def restore_state(self, state: Any) -> None:
+        for value in state["buffer"]:
+            self._barrier(value)
+        self.buffer = deque(state["buffer"])
+        self.closed = state["closed"]
+
     # -- queue helpers -------------------------------------------------------
 
     def _pop_waiter(self, queue: Deque[Sudog]) -> Optional[Sudog]:

@@ -111,6 +111,25 @@ class HeapObject:
         """
         return iter(())
 
+    # -- checkpoint/restart support ---------------------------------------
+
+    def checkpoint_state(self) -> Any:
+        """Snapshot this object's restorable payload.
+
+        Checkpoint/restart recovery (:mod:`repro.core.checkpoint`) calls
+        this at quiescent points and feeds the result back through
+        :meth:`restore_state` on rollback.  The default object carries no
+        payload; value types and channels override both methods.
+        References inside the payload are recorded as-is: the snapshot
+        restores the *shape* of the subsystem state, and everything it
+        points at stays alive because the checkpointed objects are
+        pinned and reachable.
+        """
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Restore payload captured by :meth:`checkpoint_state`."""
+
     # -- finalizers -------------------------------------------------------
 
     def set_finalizer(self, fn: Callable[["HeapObject"], None]) -> None:
@@ -153,6 +172,13 @@ class Box(HeapObject):
     def referents(self) -> Iterator[HeapObject]:
         return iter_heap_refs(self._value)
 
+    def checkpoint_state(self) -> Any:
+        return self._value
+
+    def restore_state(self, state: Any) -> None:
+        self._barrier(state)
+        self._value = state
+
 
 class Struct(HeapObject):
     """A heap object with named fields, analogous to a Go struct pointer.
@@ -187,6 +213,14 @@ class Struct(HeapObject):
         for value in self.fields.values():
             yield from iter_heap_refs(value)
 
+    def checkpoint_state(self) -> Any:
+        return dict(self.fields)
+
+    def restore_state(self, state: Any) -> None:
+        for value in state.values():
+            self._barrier(value)
+        self.fields = dict(state)
+
 
 class Slice(HeapObject):
     """A growable sequence of references, analogous to a Go slice."""
@@ -219,6 +253,15 @@ class Slice(HeapObject):
     def referents(self) -> Iterator[HeapObject]:
         for value in self.items:
             yield from iter_heap_refs(value)
+
+    def checkpoint_state(self) -> Any:
+        return list(self.items)
+
+    def restore_state(self, state: Any) -> None:
+        for value in state:
+            self._barrier(value)
+        self.items = list(state)
+        self.resize(3 * WORD_SIZE + WORD_SIZE * len(self.items))
 
 
 class GoMap(HeapObject):
@@ -293,6 +336,17 @@ class GoMap(HeapObject):
         for key, value in self.entries.items():
             yield from iter_heap_refs(key)
             yield from iter_heap_refs(value)
+
+    def checkpoint_state(self) -> Any:
+        return dict(self.entries)
+
+    def restore_state(self, state: Any) -> None:
+        for key, value in state.items():
+            self._barrier(key)
+            self._barrier(value)
+        self.entries = dict(state)
+        self.resize(6 * WORD_SIZE + self.BYTES_PER_ENTRY * len(self.entries))
+        self.scan_work = len(self.entries)
 
 
 class Blob(HeapObject):

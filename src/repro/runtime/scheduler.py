@@ -91,8 +91,19 @@ class Scheduler:
         self.gfree: List[Goroutine] = []
         self.runq: List[Goroutine] = []
         self._timers: List[Tuple[int, int, int, Goroutine]] = []
+        #: Dedicated virtual processor for daemon goroutines (the
+        #: detection daemon).  It sits outside :attr:`procs`, dispatches
+        #: from its own FIFO run queue without consulting the RNG, and
+        #: runs at a fixed per-instruction cost — so enabling the daemon
+        #: never perturbs user scheduling, RNG draws, or GC stepping.
+        self.daemon_proc = _Proc(-1)
+        self.daemon_runq: List[Goroutine] = []
+        self._daemon_timers: List[Tuple[int, int, int, Goroutine]] = []
         self._timer_seq = 0
         self._next_goid = 1
+        #: Daemon goids live in their own range so starting the daemon
+        #: never shifts the goids user goroutines would otherwise get.
+        self._next_daemon_goid = 1_000_000_000
         self.main_g: Optional[Goroutine] = None
         self._main_exited = False
         self.crashed: Optional[Tuple[Goroutine, BaseException]] = None
@@ -152,18 +163,36 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def spawn(self, fn: Callable[..., Any], *args: Any, name: str = "",
-              system: bool = False, go_site: str = "",
+              system: bool = False, daemon: bool = False, go_site: str = "",
               parent: Optional[Goroutine] = None) -> Goroutine:
         """Create a goroutine running ``fn(*args)``.
 
         Reuses a descriptor from the free pool when available, matching
         the Go runtime's ``*g`` recycling (paper, section 5.4).
+        ``daemon`` goroutines (implicitly system) run on the dedicated
+        daemon processor, invisible to user scheduling.
         """
         gen = fn(*args)
         if not inspect.isgenerator(gen):
             raise TypeError(
                 f"goroutine body must be a generator function, got {fn!r}"
             )
+        if daemon:
+            # Daemon descriptors are runtime-owned: never heap-allocated
+            # (no mark/pause cost), never in ``allgs`` (invisible to GC
+            # roots and invariants), goids from a disjoint range, never
+            # recycled through ``gfree``, and absent from trace and
+            # telemetry streams — a run with the daemon enabled is
+            # byte-identical to one without, modulo earlier detection.
+            g = Goroutine(goid=self._next_daemon_goid)
+            self._next_daemon_goid += 1
+            g.bind(gen, go_site=go_site, parent_goid=0, name=name,
+                   fn_name=getattr(fn, "__name__", ""))
+            g.name = name or f"daemon-{g.goid}"
+            g.is_system = True
+            g.is_daemon = True
+            self.daemon_runq.append(g)
+            return g
         if self.gfree:
             g = self.gfree.pop()
             self.goroutines_reused += 1
@@ -178,6 +207,7 @@ class Scheduler:
                fn_name=getattr(fn, "__name__", ""))
         g.name = name or f"goroutine-{g.goid}"
         g.is_system = system
+        g.is_daemon = False
         self.goroutines_spawned += 1
         if parent is not None:
             parent.spawned += 1
@@ -202,6 +232,8 @@ class Scheduler:
         g.wait_reason = reason
         g.blocked_on = blocked_on
         g.blocking_sema = blocking_sema
+        if g.is_daemon:
+            return
         if self.tracer is not None:
             self.tracer.on_park(g, reason)
         if self.telemetry is not None:
@@ -219,7 +251,13 @@ class Scheduler:
         self.park(g, reason, ())
         g.wake_at = wake_at
         self._timer_seq += 1
-        heapq.heappush(self._timers, (wake_at, self._timer_seq, g.goid, g))
+        entry = (wake_at, self._timer_seq, g.goid, g)
+        if g.is_daemon:
+            # Daemon timers live in their own heap: the run loop treats
+            # them as wake sources but never as GC-step tick boundaries.
+            heapq.heappush(self._daemon_timers, entry)
+        else:
+            heapq.heappush(self._timers, entry)
 
     def wake(self, g: Goroutine, result: Any = None,
              exc: Optional[BaseException] = None) -> None:
@@ -246,6 +284,9 @@ class Scheduler:
         g.pending_value = result
         g.pending_exc = exc
         g.status = GStatus.RUNNABLE
+        if g.is_daemon:
+            self.daemon_runq.append(g)
+            return
         self.runq.append(g)
         if self.tracer is not None:
             self.tracer.on_wake(g)
@@ -306,6 +347,10 @@ class Scheduler:
         self._run_defers(g)
         g.finished_value = value
         g.finish()
+        if g.is_daemon:
+            # Runtime-owned descriptor: never recycled into user spawns,
+            # never traced.
+            return
         self.gfree.append(g)
         if self.tracer is not None:
             self.tracer.on_finish(g)
@@ -335,6 +380,39 @@ class Scheduler:
         The body generator is dropped unresumed — deferred code must not
         run.
         """
+        self.semtable.remove_goroutine(g)
+        self._relock.pop(g.goid, None)
+        if g.gen is not None:
+            self._reclaimed_bodies.append(g.gen)
+        g.cleanup_after_deadlock()
+        self.gfree.append(g)
+        if self.tracer is not None:
+            self.tracer.on_reclaim(g)
+
+    def kill(self, g: Goroutine) -> None:
+        """Forcibly terminate ``g`` from a host-side recovery action.
+
+        Used by checkpoint/restart recovery to tear a subsystem's
+        goroutines down before re-spawning them: unlike
+        :meth:`reclaim_deadlocked` (which only handles goroutines the
+        collector already detached), the victim may still be runnable or
+        even mid-instruction, so every scheduler-side residence — run
+        queues, the holding processor, wait queues — is purged.  The
+        body generator is dropped unresumed; deferred code must not run,
+        matching GOLF's forced shutdown semantics.
+        """
+        if g is self.main_g:
+            raise SchedulerError("cannot kill the main goroutine")
+        if g.status == GStatus.DEAD:
+            return
+        if g in self.runq:
+            self.runq.remove(g)
+        if g in self.daemon_runq:
+            self.daemon_runq.remove(g)
+        for p in self.procs + [self.daemon_proc]:
+            if p.g is g:
+                p.g = None
+                p.instr = None
         self.semtable.remove_goroutine(g)
         self._relock.pop(g.goid, None)
         if g.gen is not None:
@@ -463,12 +541,37 @@ class Scheduler:
                 continue  # re-run the terminal checks at the loop top
 
             busy = [p for p in self.procs if not p.idle]
-            if busy:
-                t_next = min(p.busy_until for p in busy)
-                # A timer may fire before any instruction completes; wake
-                # at the earlier event so sleepers can use idle processors.
-                if self._timers and self._timers[0][0] < t_next:
-                    t_next = self._timers[0][0]
+            if not busy:
+                # No mutator is running: drive any in-flight GC cycle at
+                # the *current* clock before jumping time or declaring
+                # deadlock — goroutines parked in runtime.GC (GC_WAIT)
+                # become runnable when it completes.  This runs before
+                # daemon events are considered, so incremental cycles
+                # complete at the same virtual times with or without a
+                # detection daemon installed.
+                if self.gc_step_hook is not None and self.gc_step_hook():
+                    continue
+
+            daemon_busy = not self.daemon_proc.idle
+            if busy or daemon_busy:
+                # The next *user-relevant* event: a mutator instruction
+                # completing or a user timer firing.  GC stepping is tied
+                # to these ticks only; daemon events advance the clock
+                # between them but never step the collector, keeping the
+                # incremental phase machine byte-identical daemon on/off.
+                t_user: Optional[int] = min(
+                    (p.busy_until for p in busy), default=None)
+                if self._timers and (t_user is None
+                                     or self._timers[0][0] < t_user):
+                    t_user = self._timers[0][0]
+                t_next = t_user
+                if daemon_busy and (t_next is None
+                                    or self.daemon_proc.busy_until < t_next):
+                    t_next = self.daemon_proc.busy_until
+                if self._daemon_timers and (
+                        t_next is None or self._daemon_timers[0][0] < t_next):
+                    t_next = self._daemon_timers[0][0]
+                assert t_next is not None
                 if until_ns is not None and t_next > until_ns:
                     self.clock.advance_to(until_ns)
                     return RunStatus.TIMEOUT
@@ -476,20 +579,21 @@ class Scheduler:
                 for p in busy:
                     if p.busy_until <= self.clock.now:
                         self._complete(p)
-                if self.gc_step_hook is not None:
+                if (daemon_busy
+                        and self.daemon_proc.busy_until <= self.clock.now):
+                    self._complete(self.daemon_proc)
+                if (busy and self.gc_step_hook is not None
+                        and t_next == t_user):
                     # Incremental GC: one bounded mark/sweep budget per
                     # scheduler tick, interleaved with mutator progress.
                     self.gc_step_hook()
                 continue
 
-            # No processor is busy: drive any in-flight GC cycle before
-            # jumping time or declaring deadlock — goroutines parked in
-            # runtime.GC (GC_WAIT) become runnable when it completes.
-            if self.gc_step_hook is not None and self.gc_step_hook():
-                continue
-            # Either jump to the next timer or stop.
-            if self._timers:
-                t = self._timers[0][0]
+            # Either jump to the next timer — daemon timers keep the loop
+            # alive exactly as any system goroutine's sleep would — or stop.
+            if self._timers or self._daemon_timers:
+                t = min(h[0][0]
+                        for h in (self._timers, self._daemon_timers) if h)
                 if until_ns is not None and t > until_ns:
                     self.clock.advance_to(until_ns)
                     return RunStatus.TIMEOUT
@@ -529,20 +633,26 @@ class Scheduler:
         return self.goroutine_dump(goroutines)
 
     def _wake_due_timers(self) -> None:
-        while self._timers and self._timers[0][0] <= self.clock.now:
-            _, _, goid, g = heapq.heappop(self._timers)
-            # The goroutine may have been reclaimed, re-parked, or its
-            # descriptor reused for a fresh goroutine since.  Only wake
-            # the same goroutine, and only if its current deadline has
-            # actually passed (an early-woken sleeper that re-parked
-            # leaves a stale entry whose deadline belongs to the past).
-            if (g.goid == goid
-                    and g.status == GStatus.WAITING
-                    and g.wake_at is not None
-                    and g.wake_at <= self.clock.now):
-                self.wake(g, result=None)
+        for timers in (self._timers, self._daemon_timers):
+            while timers and timers[0][0] <= self.clock.now:
+                _, _, goid, g = heapq.heappop(timers)
+                # The goroutine may have been reclaimed, re-parked, or its
+                # descriptor reused for a fresh goroutine since.  Only wake
+                # the same goroutine, and only if its current deadline has
+                # actually passed (an early-woken sleeper that re-parked
+                # leaves a stale entry whose deadline belongs to the past).
+                if (g.goid == goid
+                        and g.status == GStatus.WAITING
+                        and g.wake_at is not None
+                        and g.wake_at <= self.clock.now):
+                    self.wake(g, result=None)
 
     def _dispatch_idle_procs(self) -> None:
+        # Daemon dispatch first, FIFO, no RNG draw: the user schedule is
+        # byte-identical whether or not a daemon is installed.
+        dp = self.daemon_proc
+        while dp.idle and self.daemon_runq and self.crashed is None:
+            self._start_instruction(dp, self.daemon_runq.pop(0))
         for p in self.procs:
             # A dispatched goroutine may finish (or crash) instantly
             # without occupying the processor; keep pulling runnable
@@ -555,7 +665,7 @@ class Scheduler:
                 self._start_instruction(p, g)
 
     def _start_instruction(self, p: _Proc, g: Goroutine) -> None:
-        if self.telemetry is not None:
+        if self.telemetry is not None and not g.is_daemon:
             self.telemetry.on_context_switch(len(self.runq))
         g.status = GStatus.RUNNING
         exc, g.pending_exc = g.pending_exc, None
@@ -605,9 +715,15 @@ class Scheduler:
             return
         p.g = g
         p.instr = instr
-        cost = self._cost(instr)
+        if g.is_daemon:
+            # Fixed cost, no RNG jitter, no mutator CPU accounting: the
+            # daemon's execution must not consume shared randomness or
+            # show up in the workload's CPU metrics.
+            cost = self.base_cost_ns
+        else:
+            cost = self._cost(instr)
+            self.cpu_busy_ns += cost
         p.busy_until = self.clock.now + cost
-        self.cpu_busy_ns += cost
         if self.tracer is not None:
             self.tracer.on_instr(p.pid, g, instr.MNEMONIC, cost)
 
@@ -622,8 +738,9 @@ class Scheduler:
     def _complete(self, p: _Proc) -> None:
         g, instr = p.g, p.instr
         assert g is not None and instr is not None
-        self.instructions_executed += 1
-        if self.fault_hook is not None:
+        if not g.is_daemon:
+            self.instructions_executed += 1
+        if self.fault_hook is not None and not g.is_daemon:
             # The proc still holds the instruction while the hook runs,
             # so a fault-forced GC sees its operands as in-flight roots.
             injected = self.fault_hook(g, instr)
@@ -648,7 +765,10 @@ class Scheduler:
         g.pending_value = result
         g.pending_exc = exc
         g.status = GStatus.RUNNABLE
-        self.runq.append(g)
+        if g.is_daemon:
+            self.daemon_runq.append(g)
+        else:
+            self.runq.append(g)
 
     def stall_all(self, pause_ns: int) -> None:
         """Stop-the-world: push back every in-flight instruction."""

@@ -13,8 +13,17 @@
   production service: context deadlines, retry with backoff + jitter,
   and a circuit breaker around the downstream dependency, with GOLF
   reclaiming the residual Listing-7 leaks resilience cannot see.
+- :mod:`repro.service.checkpointed` — the checkpoint/restart proving
+  ground: a worker-pool pipeline with deterministic poison wedges, the
+  detection daemon condemning them, subsystem rollback restarting the
+  pool, and a zero-data-loss oracle over acknowledged work.
 """
 
+from repro.service.checkpointed import (
+    CheckpointedConfig,
+    CheckpointedResult,
+    run_checkpointed,
+)
 from repro.service.controlled import ControlledConfig, ControlledResult, run_controlled
 from repro.service.longrun import LongRunConfig, LongRunResult, run_longrun
 from repro.service.production import (
@@ -31,6 +40,9 @@ from repro.service.resilience import (
 )
 
 __all__ = [
+    "CheckpointedConfig",
+    "CheckpointedResult",
+    "run_checkpointed",
     "CircuitBreaker",
     "ControlledConfig",
     "ControlledResult",

@@ -218,6 +218,31 @@ class TelemetryHub:
         self.liveness_checks = reg.counter(
             "repro_detector_liveness_checks_total",
             "Liveness checks performed by the detection fixpoint")
+        # Detection daemon / checkpoint recovery.
+        self.daemon_checks = reg.counter(
+            "repro_daemon_checks_total",
+            "Detection-daemon fixpoint runs that executed")
+        self.daemon_skips = reg.counter(
+            "repro_daemon_skips_total",
+            "Daemon checks skipped (collector mid-cycle or GOLF off)")
+        self.daemon_leaks = reg.counter(
+            "repro_daemon_leaks_total",
+            "Leaks first surfaced by a daemon check (not a GC cycle)")
+        self.daemon_events = reg.counter(
+            "repro_daemon_events_total",
+            "Daemon lifecycle transitions, by kind", labelnames=("kind",))
+        self.checkpoints_taken = reg.counter(
+            "repro_checkpoints_taken_total",
+            "Subsystem checkpoints captured, by subsystem",
+            labelnames=("subsystem",))
+        self.recoveries = reg.counter(
+            "repro_recoveries_total",
+            "Checkpoint/restart recoveries, by subsystem and trigger",
+            labelnames=("subsystem", "trigger"))
+        self.recovery_time = reg.histogram(
+            "repro_recovery_time_ns",
+            "Virtual time charged per subsystem rollback+restart",
+            unit="ns", buckets=DURATION_BUCKETS_NS)
         # Watchdog / chaos.
         self.stalls = reg.counter(
             "repro_watchdog_stalls_total", "Global stalls detected")
@@ -407,6 +432,45 @@ class TelemetryHub:
             f"{normalize_site(g.block_site())}")
         self.leaks_reclaimed.labels(site).inc()
         self.recorder.record("detector", "go-reclaim", g.goid, site)
+
+    # -- daemon / recovery callbacks -----------------------------------------
+
+    def on_daemon_event(self, kind: str) -> None:
+        """Daemon lifecycle transition (``start`` / ``stop``)."""
+        self.daemon_events.labels(kind).inc()
+        self.recorder.record("daemon", f"daemon-{kind}", 0, kind)
+
+    def on_daemon_check(self, skipped: bool, leaks: int) -> None:
+        if skipped:
+            self.daemon_skips.inc()
+            return
+        self.daemon_checks.inc()
+        if leaks:
+            self.daemon_leaks.inc(leaks)
+            self.recorder.record(
+                "daemon", "daemon-detect", 0,
+                f"{leaks} new leak(s) surfaced by timer check",
+                severity=rec.WARN)
+
+    def on_checkpoint(self, subsystem: str) -> None:
+        self.checkpoints_taken.labels(subsystem).inc()
+        self.recorder.record("recovery", "checkpoint", 0, subsystem,
+                             severity=rec.DEBUG)
+
+    def on_recovery(self, record) -> None:
+        self.recoveries.labels(record.subsystem, record.trigger).inc()
+        self.recovery_time.observe(record.recovery_ns)
+        self.recorder.record(
+            "recovery", "recovery-restart", 0,
+            f"{record.subsystem}: {record.workers_killed} killed, "
+            f"{record.workers_respawned} respawned in "
+            f"{record.recovery_ns}ns (trigger={record.trigger})",
+            severity=rec.WARN)
+        self.recorder.incident(
+            "subsystem-recovery",
+            f"{record.subsystem} rolled back to checkpoint "
+            f"({record.checkpoint_age_ns}ns old) after condemned goroutines "
+            f"{list(record.condemned_goids)}; trigger={record.trigger}")
 
     # -- watchdog / chaos callbacks ------------------------------------------
 
