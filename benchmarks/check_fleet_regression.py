@@ -1,0 +1,83 @@
+"""CI gate: the committed BENCH_fleet.json must still reproduce.
+
+Re-runs the fleet-scaling grid (pure virtual-time simulation, so every
+field in the benchmark doc is deterministic) and demands an exact match
+against the committed ``BENCH_fleet.json``, then re-checks the
+sustained-RPS speedup floors.  Any drift — a routing change, a
+scheduler tweak, a collector fix that alters leak counts — shows up
+here as a field-level diff, and the committed file must be regenerated
+deliberately (``python benchmarks/bench_fleet_scaling.py``).
+
+Usage: PYTHONPATH=src:. python benchmarks/check_fleet_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from benchmarks.bench_fleet_scaling import (
+    BENCH_PATH,
+    SPEEDUP_FLOORS,
+    collect,
+    format_fleet_bench,
+)
+
+
+def diff_docs(committed: dict, fresh: dict) -> list:
+    """Field-level differences between benchmark docs (empty = match)."""
+    problems = []
+    for key in sorted(set(committed) | set(fresh)):
+        if key == "rows":
+            continue
+        if committed.get(key) != fresh.get(key):
+            problems.append(
+                f"field {key!r}: committed {committed.get(key)!r} "
+                f"!= fresh {fresh.get(key)!r}")
+    committed_rows = {(r["shards"], r["mode"]): r
+                      for r in committed.get("rows", [])}
+    fresh_rows = {(r["shards"], r["mode"]): r for r in fresh.get("rows", [])}
+    for key in sorted(set(committed_rows) | set(fresh_rows)):
+        old, new = committed_rows.get(key), fresh_rows.get(key)
+        if old is None or new is None:
+            problems.append(f"row {key}: present in only one doc")
+            continue
+        for field in sorted(set(old) | set(new)):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"row {key} field {field!r}: committed "
+                    f"{old.get(field)!r} != fresh {new.get(field)!r}")
+    return problems
+
+
+def main() -> int:
+    try:
+        with open(BENCH_PATH) as fh:
+            committed = json.load(fh)
+    except FileNotFoundError:
+        print(f"FAIL: {BENCH_PATH} not committed", file=sys.stderr)
+        return 1
+    fresh = collect()
+    print(format_fleet_bench(fresh))
+    problems = diff_docs(committed, fresh)
+    for shards, floor in sorted(SPEEDUP_FLOORS.items()):
+        speedup = fresh["rps_speedup_vs_1_shard"][str(shards)]
+        if speedup < floor:
+            problems.append(
+                f"{shards}-shard RPS speedup {speedup} below floor {floor}")
+    if problems:
+        print(f"\nFAIL: BENCH_fleet.json drifted "
+              f"({len(problems)} problem(s)):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        print("\nIf the change is intentional, regenerate with:\n"
+              "  PYTHONPATH=src:. python benchmarks/bench_fleet_scaling.py",
+              file=sys.stderr)
+        return 1
+    print("\nOK: BENCH_fleet.json reproduces exactly; "
+          "speedup floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -205,6 +205,90 @@ def _cmd_daemon(args) -> str:
     return text
 
 
+def _cmd_fleet(args) -> str:
+    """Sharded multi-runtime fleet run (see docs/FLEET.md).
+
+    Writes a deterministic JSON artifact (schema-validated before
+    writing), the fleet ``.prom`` exposition with a ``shard`` label on
+    every sample, and the merged leak-report log.  ``--mode both`` runs
+    the sequential oracle *and* the multiprocessing fleet and enforces
+    their equivalence.  Exits non-zero on a dirty run (invariant
+    violation, dead worker, schema breach, or mode divergence).
+    """
+    from repro.fleet import (
+        FleetConfig,
+        equivalence_diff,
+        run_fleet,
+        validate_fleet_artifact,
+    )
+    from repro.telemetry import validate_exposition
+
+    if args.shards < 1:
+        raise SystemExit("fleet: --shards must be at least 1")
+    if args.users < 1:
+        raise SystemExit("fleet: --users must be at least 1")
+    config = FleetConfig(
+        shards=args.shards, seed=args.seed, users=args.users,
+        policy=args.policy, workload=args.workload,
+        leak_rate=args.leak_rate, procs_per_shard=args.procs,
+        daemon_interval_ms=args.daemon_ms)
+    modes = (["sequential", "multiprocessing"] if args.mode == "both"
+             else [args.mode])
+    results = {mode: run_fleet(config, mode) for mode in modes}
+
+    failures = []
+    artifact_dir = args.json_dir
+    os.makedirs(artifact_dir, exist_ok=True)
+    sections = []
+    for mode, result in results.items():
+        doc = result.to_dict()
+        try:
+            counts = validate_fleet_artifact(doc)
+        except ValueError as exc:
+            failures.append(f"{mode}: artifact schema breach: {exc}")
+            counts = {}
+        prom = result.prom_text()
+        try:
+            samples = validate_exposition(prom)
+        except ValueError as exc:
+            failures.append(f"{mode}: exposition invalid: {exc}")
+            samples = 0
+        stem = os.path.join(
+            artifact_dir, f"fleet-{mode}-n{args.shards}-s{args.seed}")
+        with open(f"{stem}.json", "w") as fh:
+            fh.write(result.to_json())
+        with open(f"{stem}.prom", "w") as fh:
+            fh.write(prom)
+        with open(f"{stem}-reports.txt", "w") as fh:
+            fh.write(result.report_log_text())
+        if not result.clean:
+            failures.append(f"{mode}: dirty run: "
+                            + "; ".join(result.problems))
+        sections.append("\n".join([
+            result.format(),
+            f"  wall time       : {result.wall_s:.2f}s",
+            f"  exposition      : {samples} sample(s), shard-labelled",
+            f"  artifact        : {stem}.json "
+            f"({counts.get('reports', 0)} report(s), "
+            f"{counts.get('fingerprints', 0)} fingerprint(s))",
+        ]))
+    if args.mode == "both":
+        mismatches = equivalence_diff(results["sequential"],
+                                      results["multiprocessing"])
+        if mismatches:
+            failures.extend(f"mode equivalence: {m}" for m in mismatches)
+        else:
+            sections.append("mode equivalence : sequential == "
+                            "multiprocessing (reports, fingerprints, "
+                            "metrics)")
+    text = "\n\n".join(sections)
+    if failures:
+        raise SystemExit(text + "\n"
+                         + "\n".join(f"FAIL: {f}" for f in failures)
+                         + "\nfleet run FAILED")
+    return text
+
+
 def _cmd_obs(args) -> str:
     from repro.telemetry import (
         DEBUG,
@@ -345,6 +429,7 @@ _COMMANDS: Dict[str, Callable] = {
     "tester": _cmd_tester,
     "chaos": _cmd_chaos,
     "daemon": _cmd_daemon,
+    "fleet": _cmd_fleet,
     "obs": _cmd_obs,
     "trace": _cmd_trace,
     "vet": _cmd_vet,
@@ -437,6 +522,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--base-seed", type=int, default=0)
     p.add_argument("--json-dir", default="benchmarks/out",
                    help="directory for the campaign JSON artifact")
+
+    p = add("fleet", help="sharded multi-runtime fleet with cross-shard "
+                          "leak aggregation; exits non-zero on a dirty run "
+                          "or mode divergence")
+    p.add_argument("--shards", type=int, default=2,
+                   help="number of independent runtime shards")
+    p.add_argument("--mode", default="sequential",
+                   choices=["sequential", "multiprocessing", "both"],
+                   help="'sequential' steps shards round-robin in one "
+                        "process (the deterministic oracle); "
+                        "'multiprocessing' runs one worker per shard; "
+                        "'both' runs the two and enforces equivalence")
+    p.add_argument("--users", type=int, default=96,
+                   help="total users routed across the fleet")
+    p.add_argument("--policy", default="hash", choices=["hash", "load"],
+                   help="user placement: id-hash or least-expected-load")
+    p.add_argument("--workload", default="controlled",
+                   choices=["controlled", "production"],
+                   help="per-shard leak workload shape")
+    p.add_argument("--leak-rate", type=float, default=0.1,
+                   help="fraction of requests hitting the leaky path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=2,
+                   help="virtual processors per shard")
+    p.add_argument("--daemon-ms", type=float, default=None,
+                   help="per-shard detection-daemon interval (virtual "
+                        "ms); omitted = GC-cadence detection only")
+    p.add_argument("--json-dir", default="benchmarks/out",
+                   help="directory for the fleet JSON/.prom artifacts")
 
     p = add("vet", help="static partial-deadlock analysis over goroutine "
                         "bodies; exits non-zero per --fail-on")
@@ -531,12 +645,12 @@ def main(argv=None) -> int:
         # this hub (Runtime.__init__ auto-attaches the default hub).
         set_default_hub(hub)
     if args.command == "all":
-        # tester, chaos, daemon, obs, trace, vet, and gc-equiv have their
-        # own flags and fail semantics; they run as explicit subcommands
-        # only.
+        # tester, chaos, daemon, fleet, obs, trace, vet, and gc-equiv
+        # have their own flags and fail semantics; they run as explicit
+        # subcommands only.
         commands = [c for c in _COMMANDS
-                    if c not in ("tester", "chaos", "daemon", "obs",
-                                 "trace", "vet", "gc-equiv")]
+                    if c not in ("tester", "chaos", "daemon", "fleet",
+                                 "obs", "trace", "vet", "gc-equiv")]
     else:
         commands = [args.command]
     try:

@@ -1,0 +1,68 @@
+"""repro.fleet — a sharded multi-runtime fleet with leak aggregation.
+
+The paper's GOLF detector is per-runtime: one heap, one collector, one
+cooperative thread.  This package scales that out the way the
+zone-based VGC literature prescribes — N fully independent runtime
+shards (each with its own heap, scheduler, incremental collector, GOLF
+detector, and optional detection daemon), no global pause, no shared
+state — and adds the layer the paper's single runtime never needed:
+
+- :mod:`repro.fleet.router` — a seeded million-user traffic model and a
+  deterministic user → shard router (hash- or load-based placement,
+  per-user session affinity);
+- :mod:`repro.fleet.shard` — one shard = one runtime serving its routed
+  users through the controlled/production leak workloads, driven in
+  bounded virtual-time slices;
+- :mod:`repro.fleet.supervisor` — `sequential` (deterministic oracle)
+  and `multiprocessing` (one worker per shard, results over pipes)
+  execution with identical semantics;
+- :mod:`repro.fleet.aggregate` — merged leak reports with shard
+  provenance, cross-shard :class:`FingerprintStore` dedup, fleet
+  ``.prom`` exposition with a ``shard`` label on every instrument, and
+  the `repro fleet` JSON artifact schema.
+
+See docs/FLEET.md for the architecture walkthrough.
+"""
+
+from repro.fleet.aggregate import (
+    FLEET_SCHEMA_VERSION,
+    FleetResult,
+    equivalence_diff,
+    validate_fleet_artifact,
+)
+from repro.fleet.router import (
+    ROUTING_POLICIES,
+    Router,
+    TrafficModel,
+    UserSession,
+    WORKLOADS,
+    stable_hash64,
+)
+from repro.fleet.shard import ShardResult, ShardRunner, ShardSpec, run_shard
+from repro.fleet.supervisor import (
+    FLEET_MODES,
+    FleetConfig,
+    FleetSupervisor,
+    run_fleet,
+)
+
+__all__ = [
+    "FLEET_MODES",
+    "FLEET_SCHEMA_VERSION",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSupervisor",
+    "ROUTING_POLICIES",
+    "Router",
+    "ShardResult",
+    "ShardRunner",
+    "ShardSpec",
+    "TrafficModel",
+    "UserSession",
+    "WORKLOADS",
+    "equivalence_diff",
+    "run_fleet",
+    "run_shard",
+    "stable_hash64",
+    "validate_fleet_artifact",
+]

@@ -1,0 +1,217 @@
+"""The fleet supervisor: N runtime shards under one roof.
+
+Two execution modes with identical semantics:
+
+- ``sequential`` — the oracle mode: every shard lives in this process
+  and the supervisor interleaves bounded virtual-time slices round-robin
+  across shards.  Fully deterministic; same-seed runs are byte-identical.
+- ``multiprocessing`` — one worker process per shard; each worker drives
+  the *same* stepping loop over the *same* picklable spec and ships its
+  :class:`~repro.fleet.shard.ShardResult` home over a pipe.  Shards
+  execute in parallel across cores, and because a shard's run is a pure
+  function of its spec, the aggregated result is identical to
+  sequential mode (the ``equivalence_diff`` oracle enforces this).
+
+Per-shard virtual clocks advance independently — there is no global
+pause and no cross-shard synchronization, the zone-based-VGC shape —
+so the fleet's virtual makespan is its slowest shard, and sustained
+throughput scales with the shard count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, List, Optional
+
+from repro.fleet.aggregate import FleetResult
+from repro.fleet.router import (
+    ROUTING_POLICIES,
+    Router,
+    TrafficModel,
+    WORKLOADS,
+)
+from repro.fleet.shard import ShardResult, ShardRunner, ShardSpec, run_shard
+
+FLEET_MODES = ("sequential", "multiprocessing")
+
+
+class FleetConfig:
+    """Knobs for one fleet run (traffic model + topology + shard shape)."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        seed: int = 0,
+        users: int = 64,
+        policy: str = "hash",
+        workload: str = "controlled",
+        leak_rate: float = 0.1,
+        min_requests: int = 2,
+        max_requests: int = 6,
+        think_ms: int = 5,
+        think_jitter_ms: int = 3,
+        procs_per_shard: int = 2,
+        step_ms: int = 50,
+        periodic_gc_ms: int = 20,
+        handler_work_us: int = 100,
+        map_entries: int = 256,
+        daemon_interval_ms: Optional[float] = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"policy must be one of {ROUTING_POLICIES}, got {policy!r}")
+        if workload not in WORKLOADS:
+            raise ValueError(
+                f"workload must be one of {WORKLOADS}, got {workload!r}")
+        self.shards = shards
+        self.seed = seed
+        self.users = users
+        self.policy = policy
+        self.workload = workload
+        self.leak_rate = leak_rate
+        self.min_requests = min_requests
+        self.max_requests = max_requests
+        self.think_ms = think_ms
+        self.think_jitter_ms = think_jitter_ms
+        self.procs_per_shard = procs_per_shard
+        self.step_ms = step_ms
+        self.periodic_gc_ms = periodic_gc_ms
+        self.handler_work_us = handler_work_us
+        self.map_entries = map_entries
+        self.daemon_interval_ms = daemon_interval_ms
+
+    def model(self) -> TrafficModel:
+        return TrafficModel(
+            n_users=self.users, min_requests=self.min_requests,
+            max_requests=self.max_requests, think_ms=self.think_ms,
+            think_jitter_ms=self.think_jitter_ms, leak_rate=self.leak_rate,
+            workload=self.workload, seed=self.seed)
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "seed": self.seed,
+            "policy": self.policy,
+            "model": self.model().as_dict(),
+            "procs_per_shard": self.procs_per_shard,
+            "step_ms": self.step_ms,
+            "periodic_gc_ms": self.periodic_gc_ms,
+            "handler_work_us": self.handler_work_us,
+            "map_entries": self.map_entries,
+            "daemon_interval_ms": self.daemon_interval_ms,
+        }
+
+
+def _shard_worker(spec: ShardSpec, conn) -> None:
+    """Worker-process entry: run one shard, ship the result, exit."""
+    try:
+        result = run_shard(spec)
+        conn.send(("ok", result))
+    except BaseException as exc:  # ship the failure, don't hang the pipe
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+class FleetSupervisor:
+    """Builds shard specs from the routing table and runs the fleet."""
+
+    def __init__(self, config: Optional[FleetConfig] = None):
+        self.config = config or FleetConfig()
+
+    def build_specs(self) -> List[ShardSpec]:
+        config = self.config
+        model = config.model()
+        router = Router(config.shards, policy=config.policy,
+                        seed=config.seed)
+        self.routing = router.build_table(model)
+        return [
+            ShardSpec(
+                shard_id=shard_id, fleet_seed=config.seed,
+                user_ids=user_ids, model=model,
+                procs=config.procs_per_shard, step_ms=config.step_ms,
+                periodic_gc_ms=config.periodic_gc_ms,
+                handler_work_us=config.handler_work_us,
+                map_entries=config.map_entries,
+                daemon_interval_ms=config.daemon_interval_ms)
+            for shard_id, user_ids in sorted(self.routing.items())
+        ]
+
+    def run(self, mode: str = "sequential") -> FleetResult:
+        if mode not in FLEET_MODES:
+            raise ValueError(
+                f"mode must be one of {FLEET_MODES}, got {mode!r}")
+        specs = self.build_specs()
+        started = time.perf_counter()
+        if mode == "sequential":
+            shards = self._run_sequential(specs)
+        else:
+            shards = self._run_multiprocessing(specs)
+        wall_s = time.perf_counter() - started
+        return FleetResult(mode, self.config.as_dict(), self.routing,
+                           shards, wall_s=wall_s)
+
+    # -- sequential (oracle) mode --------------------------------------------
+
+    def _run_sequential(self, specs: List[ShardSpec]) -> List[ShardResult]:
+        runners = [ShardRunner(spec) for spec in specs]
+        pending = list(runners)
+        while pending:
+            # Round-robin: one bounded virtual-time slice per shard per
+            # pass, so no shard races ahead of the others.
+            pending = [r for r in pending if not r.step()]
+        return [r.result for r in runners]
+
+    # -- multiprocessing mode -------------------------------------------------
+
+    def _run_multiprocessing(
+            self, specs: List[ShardSpec]) -> List[ShardResult]:
+        # fork inherits sys.path (and is fast); fall back to spawn where
+        # fork does not exist — workers then re-import repro, so the
+        # package must be importable, which the test/CI environments
+        # guarantee.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        workers = []
+        for spec in specs:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_shard_worker,
+                               args=(spec, child_conn),
+                               name=f"fleet-shard-{spec.shard_id}")
+            proc.start()
+            child_conn.close()
+            workers.append((spec, proc, parent_conn))
+        results: List[ShardResult] = []
+        for spec, proc, conn in workers:
+            outcome: Optional[ShardResult] = None
+            failure = ""
+            try:
+                status, payload = conn.recv()
+                if status == "ok":
+                    outcome = payload
+                else:
+                    failure = str(payload)
+            except EOFError:
+                failure = "worker exited without a result"
+            finally:
+                conn.close()
+                proc.join()
+            if outcome is None:
+                # A dead worker must dirty the run, not crash aggregation:
+                # synthesize an incomplete ShardResult carrying the error.
+                outcome = ShardResult(spec.shard_id)
+                outcome.users = len(spec.user_ids)
+                outcome.invariant_violations = [
+                    f"worker failed: {failure or 'unknown error'}"]
+            results.append(outcome)
+        return results
+
+
+def run_fleet(config: Optional[FleetConfig] = None,
+              mode: str = "sequential") -> FleetResult:
+    """One-call fleet run (what the CLI and benchmarks use)."""
+    return FleetSupervisor(config).run(mode)

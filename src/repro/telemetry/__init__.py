@@ -18,6 +18,7 @@ same ``(program, procs, seed)`` produce byte-identical artifacts.
 
 from repro.telemetry.export import (
     ObsResult,
+    render_merged_prometheus,
     run_observed_benchmark,
     validate_exposition,
     write_artifacts,
@@ -43,6 +44,7 @@ from repro.telemetry.profiles import (
     FingerprintStore,
     GoroutineProfileSampler,
     HeapSiteRecord,
+    MergeStats,
     format_heap_profile,
     heap_profile,
     leak_fingerprint,
@@ -72,9 +74,11 @@ __all__ = [
     "HeapSiteRecord",
     "INFO",
     "Incident",
+    "MergeStats",
     "Metric",
     "MetricsRegistry",
     "ObsResult",
+    "render_merged_prometheus",
     "RecorderEvent",
     "RingBuffer",
     "SIZE_BUCKETS",

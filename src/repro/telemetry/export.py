@@ -79,6 +79,76 @@ def _split_labels(labels: str) -> List[str]:
     return parts
 
 
+# -- merged (multi-source) exposition ----------------------------------------
+
+
+def render_merged_prometheus(snapshots: Dict[str, dict],
+                             label: str = "shard") -> str:
+    """Merge per-source metric snapshots into one labelled exposition.
+
+    ``snapshots`` maps a source id (shard id as a string) to a
+    :meth:`MetricsRegistry.snapshot` dict.  Every sample gains a
+    ``label="<source>"`` pair, HELP/TYPE headers appear once per metric,
+    and series are ordered by (metric name, source, label values) — so
+    the result is deterministic and parses under
+    :func:`validate_exposition`.  Snapshot-based (rather than
+    registry-based) because fleet worker processes ship their metrics
+    home as JSON; the sequential oracle mode feeds the same structure,
+    which is what makes the two modes' expositions comparable.
+    """
+    from repro.telemetry.metrics import HISTOGRAM, _format_value
+
+    def esc(value: str) -> str:
+        return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+                .replace("\n", "\\n"))
+
+    # name -> (kind, help, [(source, sample), ...]) in deterministic order.
+    merged: Dict[str, dict] = {}
+    for source in sorted(snapshots, key=str):
+        for name, metric in snapshots[source].items():
+            entry = merged.setdefault(
+                name, {"kind": metric["kind"], "help": metric.get("help", ""),
+                       "rows": []})
+            if entry["kind"] != metric["kind"]:
+                raise ValueError(
+                    f"metric {name!r} has kind {metric['kind']!r} in source "
+                    f"{source!r} but {entry['kind']!r} elsewhere")
+            for sample in metric["samples"]:
+                if label in sample["labels"]:
+                    raise ValueError(
+                        f"metric {name!r} already carries a {label!r} label; "
+                        f"merging would alias series")
+                entry["rows"].append((str(source), sample))
+
+    lines: List[str] = []
+    for name in sorted(merged):
+        entry = merged[name]
+        if entry["help"]:
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        for source, sample in entry["rows"]:
+            pairs = [f'{label}="{esc(source)}"']
+            pairs.extend(f'{k}="{esc(v)}"'
+                         for k, v in sorted(sample["labels"].items()))
+            if entry["kind"] == HISTOGRAM:
+                bounds = ([_format_value(b) for b in sample["buckets"]]
+                          + ["+Inf"])
+                total = 0
+                for bound, count in zip(bounds, sample["counts"]):
+                    total += count
+                    bucket = ",".join(pairs + [f'le="{esc(bound)}"'])
+                    lines.append(f"{name}_bucket{{{bucket}}} {total}")
+                label_str = "{" + ",".join(pairs) + "}"
+                lines.append(
+                    f"{name}_sum{label_str} {_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{label_str} {sample['count']}")
+            else:
+                label_str = "{" + ",".join(pairs) + "}"
+                lines.append(
+                    f"{name}{label_str} {_format_value(sample['value'])}")
+    return "\n".join(lines) + "\n"
+
+
 # -- artifact writing --------------------------------------------------------
 
 

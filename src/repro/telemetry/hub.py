@@ -539,8 +539,11 @@ class TelemetryHub:
             "profile_samples": self.sampler.history(),
         }
 
-    def render_prometheus(self) -> str:
+    def render_prometheus(self, extra_labels=()) -> str:
+        """Text exposition; ``extra_labels`` (e.g. ``[("shard", "3")]``)
+        are stamped onto every sample — see
+        :meth:`MetricsRegistry.render_prometheus`."""
         if self.clock is not None:
             self.clock_ns.set(self.clock.now)
         self._sync_drop_counts()
-        return self.registry.render_prometheus()
+        return self.registry.render_prometheus(extra_labels=extra_labels)

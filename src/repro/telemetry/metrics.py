@@ -235,18 +235,35 @@ class MetricsRegistry:
 
     # -- renderings ----------------------------------------------------------
 
-    def render_prometheus(self) -> str:
-        """The text exposition format, deterministically ordered."""
+    def render_prometheus(
+            self,
+            extra_labels: Sequence[Tuple[str, str]] = ()) -> str:
+        """The text exposition format, deterministically ordered.
+
+        ``extra_labels`` are constant (name, value) pairs prepended to
+        every sample — the fleet supervisor uses this to stamp a
+        ``shard`` label onto each shard's exposition.  A pair whose name
+        collides with an instrument's own label raises, since the
+        merged exposition would silently alias two series.
+        """
+        extra = tuple((str(n), str(v)) for n, v in extra_labels)
         lines: List[str] = []
         for metric in self:
+            for name, _ in extra:
+                if name in metric.labelnames:
+                    raise ValueError(
+                        f"extra label {name!r} collides with a label of "
+                        f"metric {metric.name!r}")
             if metric.help:
                 lines.append(f"# HELP {metric.name} {metric.help}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for values, child in metric.series():
-                label_str = self._label_str(metric.labelnames, values)
+                label_str = self._label_str(metric.labelnames, values,
+                                            base=extra)
                 if metric.kind == HISTOGRAM:
                     lines.extend(self._histogram_lines(
-                        metric, label_str, metric.labelnames, values, child))
+                        metric, label_str, metric.labelnames, values, child,
+                        base=extra))
                 else:
                     lines.append(
                         f"{metric.name}{label_str} "
@@ -255,22 +272,26 @@ class MetricsRegistry:
 
     @staticmethod
     def _label_str(names: Tuple[str, ...], values: Tuple[str, ...],
-                   extra: Optional[Tuple[str, str]] = None) -> str:
-        pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+                   extra: Optional[Tuple[str, str]] = None,
+                   base: Tuple[Tuple[str, str], ...] = ()) -> str:
+        pairs = [f'{n}="{_escape_label(v)}"' for n, v in base]
+        pairs += [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
         if extra is not None:
-            pairs.append(f'{extra[0]}="{extra[1]}"')
+            pairs.append(f'{extra[0]}="{_escape_label(extra[1])}"')
         if not pairs:
             return ""
         return "{" + ",".join(pairs) + "}"
 
     def _histogram_lines(self, metric: Metric, label_str: str,
                          names: Tuple[str, ...], values: Tuple[str, ...],
-                         child: HistogramChild) -> List[str]:
+                         child: HistogramChild,
+                         base: Tuple[Tuple[str, str], ...] = ()) -> List[str]:
         lines = []
         cumulative = child.cumulative_counts()
         bounds = [_format_value(b) for b in child.buckets] + ["+Inf"]
         for bound, count in zip(bounds, cumulative):
-            bucket_labels = self._label_str(names, values, ("le", bound))
+            bucket_labels = self._label_str(names, values, ("le", bound),
+                                            base=base)
             lines.append(f"{metric.name}_bucket{bucket_labels} {count}")
         lines.append(
             f"{metric.name}_sum{label_str} {_format_value(child.sum)}")

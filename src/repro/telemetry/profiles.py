@@ -111,13 +111,39 @@ class FingerprintRecord:
                 f"{self.block_site}>")
 
 
+class MergeStats:
+    """Outcome of one :meth:`FingerprintStore.merge`.
+
+    ``added`` fingerprints were new to the receiving store; ``conflicts``
+    existed in both stores and had their counts/runs/labels folded
+    together (a cross-shard or cross-run duplicate of the same defect).
+    """
+
+    __slots__ = ("added", "conflicts", "observations")
+
+    def __init__(self) -> None:
+        self.added = 0
+        self.conflicts = 0
+        self.observations = 0
+
+    @property
+    def total(self) -> int:
+        return self.added + self.conflicts
+
+    def __repr__(self) -> str:
+        return (f"<merge added={self.added} conflicts={self.conflicts} "
+                f"observations={self.observations}>")
+
+
 class FingerprintStore:
     """Cross-run deduplicating store of leak fingerprints.
 
     Feed it deadlock reports under a *run id* (one per campaign /
     deployment / CLI invocation); repeated runs of the same workload
     aggregate counts onto the existing records rather than re-reporting.
-    Persist with :meth:`save` / :meth:`load` to dedup across processes.
+    Persist with :meth:`save` / :meth:`load` to dedup across processes,
+    or fold stores together in memory with :meth:`merge` (the fleet
+    supervisor's cross-shard dedup path).
     """
 
     def __init__(self) -> None:
@@ -170,13 +196,58 @@ class FingerprintStore:
     def total_observations(self) -> int:
         return sum(r.count for r in self._records.values())
 
-    # -- persistence ---------------------------------------------------------
+    # -- merging / persistence -----------------------------------------------
+
+    def merge(self, other: "FingerprintStore") -> MergeStats:
+        """Fold another store into this one, in memory.
+
+        Records new to this store are adopted (copied — the other store
+        is left untouched); fingerprints present in *both* stores are
+        conflicts: their observation counts are summed and their run ids
+        and labels unioned.  Returns a :class:`MergeStats` so callers
+        (cross-run ``load``, the fleet's cross-shard aggregation) can
+        report how much deduplication actually happened.
+        """
+        stats = MergeStats()
+        self.runs_started = max(self.runs_started, other.runs_started)
+        for record in other.records():
+            stats.observations += record.count
+            existing = self._records.get(record.fingerprint)
+            if existing is None:
+                self._records[record.fingerprint] = (
+                    FingerprintRecord.from_dict(record.as_dict()))
+                stats.added += 1
+                continue
+            stats.conflicts += 1
+            existing.count += record.count
+            for run in record.runs:
+                if run not in existing.runs:
+                    existing.runs.append(run)
+            for label in record.labels:
+                if label not in existing.labels:
+                    existing.labels.append(label)
+            existing.labels.sort()
+        return stats
 
     def as_dict(self) -> dict:
         return {
             "runs_started": self.runs_started,
             "records": [r.as_dict() for r in self.records()],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FingerprintStore":
+        store = cls()
+        store.runs_started = int(data.get("runs_started", 0))
+        for record_data in data.get("records", []):
+            record = FingerprintRecord.from_dict(record_data)
+            store._records[record.fingerprint] = record
+        return store
+
+    def fingerprints(self) -> List[str]:
+        """The sorted fingerprint set (mode-equivalence oracles compare
+        these across fleet execution modes)."""
+        return sorted(self._records)
 
     def save(self, path: str) -> None:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
@@ -187,25 +258,7 @@ class FingerprintStore:
         """Merge a previously saved store; returns records loaded."""
         with open(path) as fh:
             data = json.load(fh)
-        self.runs_started = max(self.runs_started,
-                                int(data.get("runs_started", 0)))
-        loaded = 0
-        for record_data in data.get("records", []):
-            record = FingerprintRecord.from_dict(record_data)
-            existing = self._records.get(record.fingerprint)
-            if existing is None:
-                self._records[record.fingerprint] = record
-            else:
-                existing.count += record.count
-                for run in record.runs:
-                    if run not in existing.runs:
-                        existing.runs.append(run)
-                for label in record.labels:
-                    if label not in existing.labels:
-                        existing.labels.append(label)
-                existing.labels.sort()
-            loaded += 1
-        return loaded
+        return self.merge(FingerprintStore.from_dict(data)).total
 
     def format(self) -> str:
         """Triage table: highest-count fingerprints first."""

@@ -89,3 +89,42 @@ class TestExecution:
             os.path.join(out_dir, "figure4-telemetry-metrics.json"))
         # The default hub is uninstalled on the way out.
         assert get_default_hub() is None
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.command == "fleet"
+        assert args.shards == 2
+        assert args.mode == "sequential"
+        assert args.policy == "hash"
+        assert args.workload == "controlled"
+        assert args.daemon_ms is None
+
+    def test_fleet_writes_validated_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.fleet import validate_fleet_artifact
+
+        main(["fleet", "--shards", "2", "--users", "12", "--seed", "3",
+              "--leak-rate", "0.25", "--json-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "fleet run: 2 shard(s), mode=sequential, clean" in out
+        stem = tmp_path / "fleet-sequential-n2-s3"
+        with open(f"{stem}.json") as fh:
+            counts = validate_fleet_artifact(json.load(fh))
+        assert counts["shards"] == 2
+        assert (stem.parent / f"{stem.name}.prom").exists()
+        assert (stem.parent / f"{stem.name}-reports.txt").exists()
+
+    def test_fleet_both_modes_enforces_equivalence(self, tmp_path, capsys):
+        main(["fleet", "--mode", "both", "--users", "10", "--seed", "1",
+              "--json-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "mode equivalence : sequential == multiprocessing" in out
+        assert (tmp_path / "fleet-sequential-n2-s1.json").exists()
+        assert (tmp_path / "fleet-multiprocessing-n2-s1.json").exists()
+
+    def test_fleet_rejects_bad_shards(self, tmp_path):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["fleet", "--shards", "0", "--json-dir", str(tmp_path)])

@@ -153,3 +153,45 @@ class TestSnapshot:
         assert snap["x_total"]["samples"][0] == {
             "labels": {"k": "a"}, "value": 2}
         assert snap["h_ns"]["samples"][0]["counts"] == [1, 0]
+
+
+class TestExtraLabels:
+    """The fleet's shard label: prepended to every sample at render time."""
+
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests",
+                    labelnames=("outcome",)).labels("ok").inc(3)
+        reg.gauge("depth", "queue depth").set(2)
+        reg.histogram("lat_ns", "latency",
+                      buckets=(10, 100)).labels().observe(42)
+        return reg
+
+    def test_extra_label_on_every_sample(self):
+        text = self._registry().render_prometheus(
+            extra_labels=(("shard", "3"),))
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            assert 'shard="3"' in line, line
+        assert validate_exposition(text) > 0
+
+    def test_extra_label_prepended_to_existing_labels(self):
+        text = self._registry().render_prometheus(
+            extra_labels=(("shard", "0"),))
+        assert 'req_total{shard="0",outcome="ok"} 3' in text
+
+    def test_collision_with_metric_labelname_rejected(self):
+        reg = self._registry()
+        with pytest.raises(ValueError, match="outcome"):
+            reg.render_prometheus(extra_labels=(("outcome", "x"),))
+
+    def test_no_extra_labels_is_the_plain_exposition(self):
+        reg = self._registry()
+        assert reg.render_prometheus() == reg.render_prometheus(
+            extra_labels=())
+
+    def test_extra_label_values_escaped(self):
+        text = self._registry().render_prometheus(
+            extra_labels=(("shard", 'a"b\\c'),))
+        assert validate_exposition(text) > 0

@@ -152,3 +152,68 @@ class TestHeapProfile:
         text = format_heap_profile(records)
         assert text.startswith("heap profile:")
         assert "chan" in text
+
+
+class TestFingerprintStoreMerge:
+    def _store(self, run, *reports):
+        store = FingerprintStore()
+        store.begin_run(run)
+        for report in reports:
+            store.observe(report)
+        return store
+
+    def test_merge_into_empty_adopts_everything(self):
+        src = self._store("run-a", _report(), _report(goid=9),
+                          _report(wait_reason="select"))
+        dst = FingerprintStore()
+        stats = dst.merge(src)
+        assert stats.added == 2
+        assert stats.conflicts == 0
+        assert stats.observations == 3
+        assert stats.total == 2
+        assert dst.fingerprints() == src.fingerprints()
+
+    def test_merge_counts_conflicts_and_sums_observations(self):
+        dst = self._store("shard-0", _report(), _report())
+        src = self._store("shard-1", _report(),
+                          _report(wait_reason="select"))
+        stats = dst.merge(src)
+        assert stats.added == 1       # the select-leak is new
+        assert stats.conflicts == 1   # the chan-send leak collided
+        assert stats.observations == 2
+        shared = [r for r in dst.records() if r.count == 3][0]
+        assert shared.runs == ["shard-0", "shard-1"]
+
+    def test_merge_unions_labels_and_copies_records(self):
+        dst = self._store("a", _report(label="svc/mail"))
+        src = self._store("b", _report(label="svc/web"))
+        dst.merge(src)
+        (record,) = dst.records()
+        assert record.labels == ["svc/mail", "svc/web"]
+        # The source store must be untouched by the merge.
+        (src_record,) = src.records()
+        assert src_record.count == 1
+        assert src_record.labels == ["svc/web"]
+        src_record.count += 100
+        assert dst.records()[0].count != 102
+
+    def test_merge_is_associative_on_counts(self):
+        a = self._store("a", _report(), _report())
+        b = self._store("b", _report())
+        c = self._store("c", _report(wait_reason="select"))
+        left = FingerprintStore()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        right = FingerprintStore()
+        bc = FingerprintStore()
+        bc.merge(b)
+        bc.merge(c)
+        right.merge(a)
+        right.merge(bc)
+        assert left.as_dict()["records"] == right.as_dict()["records"]
+
+    def test_from_dict_round_trips(self):
+        store = self._store("r", _report(), _report(goid=3))
+        clone = FingerprintStore.from_dict(store.as_dict())
+        assert clone.as_dict() == store.as_dict()
