@@ -1,0 +1,80 @@
+"""CI gate: the committed BENCH_vet.json must still reproduce.
+
+Re-runs the proofs-on/proofs-off detector-fixpoint grid (pure
+virtual-time simulation, so every field is deterministic) and demands
+an exact match against the committed ``BENCH_vet.json``, then re-checks
+the acceptance floors: byte-identical leak reports across legs, proof
+skips observed at every grid point, and the liveness-check reduction
+floor at the largest pool.  Any drift — a detector change, a behavioral
+engine change that loses the pool proof, a scheduler tweak that moves
+GC points — shows up as a field-level diff, and the committed file must
+be regenerated deliberately
+(``PYTHONPATH=src:. python benchmarks/bench_vet_proofs.py``).
+
+Usage: PYTHONPATH=src:. python benchmarks/check_vet_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from benchmarks.bench_vet_proofs import (
+    BENCH_PATH,
+    check_floors,
+    collect,
+    format_vet_bench,
+)
+
+
+def diff_docs(committed: dict, fresh: dict) -> list:
+    """Field-level differences between benchmark docs (empty = match)."""
+    problems = []
+    for key in sorted(set(committed) | set(fresh)):
+        if key == "rows":
+            continue
+        if committed.get(key) != fresh.get(key):
+            problems.append(
+                f"field {key!r}: committed {committed.get(key)!r} "
+                f"!= fresh {fresh.get(key)!r}")
+    committed_rows = {r["workers"]: r for r in committed.get("rows", [])}
+    fresh_rows = {r["workers"]: r for r in fresh.get("rows", [])}
+    for key in sorted(set(committed_rows) | set(fresh_rows)):
+        old, new = committed_rows.get(key), fresh_rows.get(key)
+        if old is None or new is None:
+            problems.append(f"row {key}: present in only one doc")
+            continue
+        for field in sorted(set(old) | set(new)):
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"row {key} field {field!r}: committed "
+                    f"{old.get(field)!r} != fresh {new.get(field)!r}")
+    return problems
+
+
+def main() -> int:
+    try:
+        with open(BENCH_PATH) as fh:
+            committed = json.load(fh)
+    except FileNotFoundError:
+        print(f"FAIL: {BENCH_PATH} not committed", file=sys.stderr)
+        return 1
+    fresh = collect()
+    print(format_vet_bench(fresh))
+    problems = diff_docs(committed, fresh) + check_floors(fresh)
+    if problems:
+        print(f"\nFAIL: BENCH_vet.json drifted "
+              f"({len(problems)} problem(s)):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        print("\nIf the change is intentional, regenerate with:\n"
+              "  PYTHONPATH=src:. python benchmarks/bench_vet_proofs.py",
+              file=sys.stderr)
+        return 1
+    print("\nOK: BENCH_vet.json reproduces exactly; "
+          "proof-skip floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

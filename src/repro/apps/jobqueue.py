@@ -94,11 +94,19 @@ class JobQueueResult:
 
 
 def run_job_queue(config: Optional[JobQueueConfig] = None,
-                  golf: bool = True) -> JobQueueResult:
-    """Process ``config.jobs`` jobs through the pipeline."""
+                  golf: bool = True,
+                  proof_registry=None) -> JobQueueResult:
+    """Process ``config.jobs`` jobs through the pipeline.
+
+    ``proof_registry`` optionally installs static leak-freedom
+    certificates (see :mod:`repro.staticcheck.proofs`) before the
+    pipeline spawns — the proofs-on leg of the equivalence oracle.
+    """
     config = config or JobQueueConfig()
     gc_config = GolfConfig() if golf else GolfConfig.baseline()
     rt = Runtime(procs=config.procs, seed=config.seed, config=gc_config)
+    if proof_registry is not None:
+        rt.install_proofs(proof_registry)
     rt.enable_periodic_gc(config.periodic_gc_ms * MILLISECOND)
     host_rng = random.Random(config.seed ^ 0x10B5)
     result = JobQueueResult()

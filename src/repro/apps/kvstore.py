@@ -238,11 +238,19 @@ class KVWorkloadResult:
 
 
 def run_kv_workload(config: Optional[KVConfig] = None,
-                    golf: bool = True) -> KVWorkloadResult:
-    """Drive a mixed GET/PUT/WATCH workload against the store."""
+                    golf: bool = True,
+                    proof_registry=None) -> KVWorkloadResult:
+    """Drive a mixed GET/PUT/WATCH workload against the store.
+
+    ``proof_registry`` optionally installs static leak-freedom
+    certificates (see :mod:`repro.staticcheck.proofs`) before the
+    workload spawns — the proofs-on leg of the equivalence oracle.
+    """
     config = config or KVConfig()
     gc_config = GolfConfig() if golf else GolfConfig.baseline()
     rt = Runtime(procs=config.procs, seed=config.seed, config=gc_config)
+    if proof_registry is not None:
+        rt.install_proofs(proof_registry)
     rt.enable_periodic_gc(config.periodic_gc_ms * MILLISECOND)
     host_rng = random.Random(config.seed ^ 0x5107E)
     result = KVWorkloadResult()

@@ -329,10 +329,14 @@ def _cmd_vet(args) -> str:
     """Static partial-deadlock analysis (see docs/STATIC_ANALYSIS.md).
 
     Exit-code contract: 0 when nothing at or above ``--fail-on`` fires
-    (and, under ``--crossval``, recall >= ``--min-recall`` with zero
-    false positives); otherwise the report is raised as SystemExit, so
-    the process exits 1 with the findings on stderr.  Usage errors exit
-    2 via argparse.
+    and every ``# vet:`` expectation holds (expect/chan mismatches and
+    malformed annotations fail even under ``--fail-on never``); under
+    ``--crossval``, recall >= ``--min-recall`` with zero false
+    positives and (behavioral engine) proven channels >=
+    ``--min-proven``; under ``--oracle``, leak reports byte-identical
+    proofs-on vs proofs-off.  Failures exit 1 with findings on stderr —
+    in ``--json`` mode the JSON document still lands intact on stdout
+    first.  Usage errors exit 2 via argparse.
     """
     import json
 
@@ -340,12 +344,43 @@ def _cmd_vet(args) -> str:
     from repro.telemetry import get_default_hub
 
     artifact_dir = args.json_dir
+
+    def fail(text: str, message: str) -> None:
+        """Emit the report, then fail: JSON stays parseable on stdout."""
+        if args.json:
+            print(text)
+            raise SystemExit(message)
+        raise SystemExit(text + "\n" + message)
+
+    if args.oracle:
+        from repro.staticcheck.fusion import run_equivalence_oracle
+        outcome = run_equivalence_oracle(procs=args.oracle_procs,
+                                         seed=args.oracle_seed)
+        doc = json.dumps(outcome.to_dict(), indent=2, sort_keys=True) + "\n"
+        text = doc if args.json else outcome.summary_text()
+        if artifact_dir:
+            os.makedirs(artifact_dir, exist_ok=True)
+            path = os.path.join(artifact_dir, "vet-oracle.json")
+            with open(path, "w") as fh:
+                fh.write(doc)
+            text += f"\n  artifact        : {path}"
+        if not outcome.passed:
+            fail(text, "vet oracle FAILED: leak reports diverged "
+                       "proofs-on vs proofs-off")
+        if outcome.total_proven_sites < args.min_proven:
+            fail(text, f"vet oracle FAILED: {outcome.total_proven_sites} "
+                       f"proven site(s) below the --min-proven floor "
+                       f"{args.min_proven}")
+        return text
+
     if args.crossval:
-        result = run_crossval()
+        result = run_crossval(engine=args.engine)
         text = result.to_json() if args.json else result.format_text()
         if artifact_dir:
             os.makedirs(artifact_dir, exist_ok=True)
-            path = os.path.join(artifact_dir, "vet-crossval.json")
+            name = ("vet-crossval.json" if args.engine == "rules"
+                    else f"vet-crossval-{args.engine}.json")
+            path = os.path.join(artifact_dir, name)
             with open(path, "w") as fh:
                 fh.write(result.to_json())
             text += f"\n  artifact        : {path}"
@@ -356,12 +391,16 @@ def _cmd_vet(args) -> str:
         if result.fp:
             problems.append(f"{result.fp} false positive(s) on the fixed "
                             f"population")
+        if args.engine == "behavior" and \
+                result.proven_channels < args.min_proven:
+            problems.append(
+                f"{result.proven_channels} proven channel(s) below the "
+                f"--min-proven floor {args.min_proven}")
         if problems:
-            raise SystemExit(text + "\nvet crossval FAILED: "
-                             + "; ".join(problems))
+            fail(text, "vet crossval FAILED: " + "; ".join(problems))
         return text
 
-    vet = vet_paths(args.paths, expect=args.expect)
+    vet = vet_paths(args.paths, expect=args.expect, prove=args.prove)
     hub = get_default_hub()
     if hub is not None:
         hub.on_vet_run(vet)
@@ -372,12 +411,74 @@ def _cmd_vet(args) -> str:
         with open(path, "w") as fh:
             fh.write(vet.to_json())
         text += f"\n  artifact        : {path}"
-    failures = [] if args.fail_on == "never" else vet.failures(args.fail_on)
+    failures = vet.failures(args.fail_on)
     if failures:
-        raise SystemExit(text + "\nvet FAILED ("
-                         + f"--fail-on {args.fail_on}):\n  "
-                         + "\n  ".join(failures))
+        fail(text, "vet FAILED ("
+             + f"--fail-on {args.fail_on}):\n  "
+             + "\n  ".join(failures))
     return text
+
+
+def _cmd_run(args) -> str:
+    """Run one microbenchmark, optionally with static proofs fused in.
+
+    ``--proofs`` certifies the benchmark body with the behavioral
+    engine, installs the per-program certificate registry, and reports
+    how many fixpoint scans the proofs skipped alongside the leak
+    reports (which are byte-identical either way — that is the
+    equivalence oracle's invariant, re-checkable with
+    ``repro vet --oracle``).
+    """
+    from repro.microbench.harness import run_microbenchmark
+    from repro.microbench.registry import benchmarks_by_name
+
+    benches = benchmarks_by_name()
+    if args.benchmark not in benches:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}; "
+                         f"choices include: "
+                         + ", ".join(sorted(benches)[:8]) + ", ...")
+    bench = benches[args.benchmark]
+
+    if args.fixed and bench.fixed is None:
+        raise SystemExit(f"benchmark {bench.name} has no fixed variant")
+
+    registry = None
+    proven = 0
+    if args.proofs:
+        from repro.staticcheck.behavior import analyze_callable_behavior
+        from repro.staticcheck.fusion import registry_for_analysis
+        body = bench.fixed if args.fixed else bench.body
+        analysis = analyze_callable_behavior(body, name=bench.name)
+        registry = registry_for_analysis(analysis)
+        proven = len(registry)
+
+    holder = {}
+
+    def hook(rt):
+        holder["rt"] = rt
+        if registry is not None:
+            rt.install_proofs(registry)
+
+    res = run_microbenchmark(bench, procs=args.procs, seed=args.seed,
+                             use_fixed=args.fixed, rt_hook=hook)
+    rt = holder["rt"]
+    lines = [
+        f"benchmark {bench.name} (procs={args.procs} seed={args.seed}"
+        + (" fixed" if args.fixed else "") + ")",
+        f"  status    : {res.status}"
+        + (f" ({res.panic})" if res.panic else ""),
+        f"  leaks     : {res.report_count} report(s), "
+        f"{res.reclaimed} goroutine(s) reclaimed",
+        f"  gc        : {res.num_gc} cycle(s), "
+        f"mark clock {res.mark_clock_ns} ns",
+    ]
+    if args.proofs:
+        skips = sum(cs.proof_skips for cs in rt.collector.stats.cycles)
+        lines.append(f"  proofs    : {proven} proven site(s) installed, "
+                     f"{skips} fixpoint scan(s) skipped")
+    for report in rt.reports.reports:
+        lines.append("  " + report.format().replace("\n", "\n  "))
+    return "\n".join(lines)
 
 
 def _cmd_gc_equiv(args) -> str:
@@ -433,6 +534,7 @@ _COMMANDS: Dict[str, Callable] = {
     "obs": _cmd_obs,
     "trace": _cmd_trace,
     "vet": _cmd_vet,
+    "run": _cmd_run,
     "gc-equiv": _cmd_gc_equiv,
 }
 
@@ -573,8 +675,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "ground truth")
     p.add_argument("--min-recall", type=float, default=0.75,
                    help="crossval recall floor (default: 0.75)")
+    p.add_argument("--prove", action="store_true",
+                   help="also run the behavioral-type engine: per-channel "
+                        "proven/potential/unknown verdicts, '# vet: "
+                        "chan=<label> <verdict>' annotation checks")
+    p.add_argument("--engine", default="rules",
+                   choices=["rules", "behavior"],
+                   help="crossval engine: 'rules' (default) or "
+                        "'behavior' (rules fused with behavioral-type "
+                        "counterexamples + proven-channel count)")
+    p.add_argument("--min-proven", type=int, default=0,
+                   help="floor on proven-leak-free channels (behavioral "
+                        "crossval) or proven sites (--oracle); "
+                        "default: 0")
+    p.add_argument("--oracle", action="store_true",
+                   help="ignore paths; run the proofs-on vs proofs-off "
+                        "equivalence oracle over the microbench corpus "
+                        "and both demo services, failing on any "
+                        "divergence in leak reports")
+    p.add_argument("--oracle-procs", type=int, default=1,
+                   help="GOMAXPROCS for oracle program runs (default: 1)")
+    p.add_argument("--oracle-seed", type=int, default=0,
+                   help="scheduler seed for oracle program runs "
+                        "(default: 0)")
     p.add_argument("--json-dir", default=None,
                    help="also write the JSON report into this directory")
+
+    p = add("run", help="run one microbenchmark, optionally with static "
+                        "leak-freedom proofs fused into the detector")
+    p.add_argument("--benchmark", default="cgo/sendmail",
+                   help="microbenchmark name (see repro.microbench)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--fixed", action="store_true",
+                   help="run the benchmark's fixed (leak-free) variant")
+    p.add_argument("--proofs", action="store_true",
+                   help="certify the benchmark with the behavioral "
+                        "engine and install the certificate registry so "
+                        "the detector skips proven channels")
 
     p = add("obs", help="run one benchmark fully observed and report "
                         "(metrics, flight recorder, profiles, "

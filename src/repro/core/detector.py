@@ -41,7 +41,8 @@ class DetectionResult:
     """Outcome of one reachable-liveness computation."""
 
     __slots__ = ("live", "deadlocked", "mark_iterations",
-                 "mark_work_units", "liveness_checks", "objects_marked")
+                 "mark_work_units", "liveness_checks", "objects_marked",
+                 "proof_skips")
 
     def __init__(self) -> None:
         self.live: List[Goroutine] = []
@@ -50,6 +51,7 @@ class DetectionResult:
         self.mark_work_units = 0
         self.liveness_checks = 0
         self.objects_marked = 0
+        self.proof_skips = 0
 
     def __repr__(self) -> str:
         return (
@@ -73,6 +75,30 @@ def blocking_object_reachable(heap: Heap, obj: HeapObject) -> bool:
     if obj.addr == 0 or not heap.contains(obj):
         return True
     return heap.is_marked(obj)
+
+
+def proof_skip_eligible(g: Goroutine) -> bool:
+    """Whether static proofs let the detector treat ``g`` as live.
+
+    True when the goroutine's entire (non-empty) blocking set consists
+    of channels certified leak-free by ``repro.staticcheck`` (the
+    ``proven_leak_free`` tag applied at ``make_chan`` time from the
+    installed :class:`~repro.staticcheck.proofs.ProofRegistry`).  The
+    certificate is a whole-program property — the composition proves no
+    reachable terminal state leaves anyone blocked on the channel — so a
+    goroutine blocked only on proven channels is guaranteed to be woken
+    eventually and the fixpoint may seed it as a root without scanning.
+    The ``ε`` sentinel and non-channel objects never carry the tag, so
+    nil-channel and sync-object waits are never skipped.  With no
+    registry installed no channel is tagged and this is always False —
+    the tag itself is the proofs-on/off switch.
+    """
+    if not g.blocked_on:
+        return False
+    for obj in g.blocked_on:
+        if not getattr(obj, "proven_leak_free", False):
+            return False
+    return True
 
 
 def initial_roots(
@@ -122,12 +148,20 @@ def detect(heap: Heap, goroutines: Sequence[Goroutine],
     blocked goroutine live that Go's precise stack scan would not.
     """
     result = DetectionResult()
-    candidates = [
-        g for g in goroutines
-        if g.status == GStatus.WAITING and g.is_blocked_detectably
-    ]
+    candidates = []
+    proof_skipped = []
+    for g in goroutines:
+        if g.status == GStatus.WAITING and g.is_blocked_detectably:
+            if proof_skip_eligible(g):
+                proof_skipped.append(g)
+            else:
+                candidates.append(g)
     masking.mask_blocked_goroutines(goroutines)
     roots = initial_roots(heap, goroutines, dead_global_hints)
+    for g in proof_skipped:
+        g.masked = False
+        roots.append(g)
+    result.proof_skips = len(proof_skipped)
     roots.extend(extra_roots)
 
     if on_the_fly:

@@ -276,6 +276,7 @@ class Collector:
         cs.mark_iterations = det.mark_iterations
         cs.mark_work_units = det.mark_work_units
         cs.liveness_checks = det.liveness_checks
+        cs.proof_skips = det.proof_skips
 
         if self.config.dead_global_hints:
             # Hints affect liveness only, never collection: re-mark the
@@ -411,13 +412,21 @@ class Collector:
             # Candidates are snapshotted under STW: goroutines that block
             # detectably *after* setup were woken-then-blocked by live
             # mutators and are shaded by the barrier/rescan instead.
-            self._candidates = [
-                g for g in self.sched.allgs
-                if g.status == GStatus.WAITING and g.is_blocked_detectably
-            ]
+            self._candidates = []
+            proof_skipped = []
+            for g in self.sched.allgs:
+                if g.status == GStatus.WAITING and g.is_blocked_detectably:
+                    if detector_mod.proof_skip_eligible(g):
+                        proof_skipped.append(g)
+                    else:
+                        self._candidates.append(g)
             masking.mask_blocked_goroutines(self.sched.allgs)
             roots = detector_mod.initial_roots(
                 self.heap, self.sched.allgs, self.config.dead_global_hints)
+            for g in proof_skipped:
+                g.masked = False
+                roots.append(g)
+            cs.proof_skips = len(proof_skipped)
         else:
             self._candidates = []
             roots = [self.heap.globals] + [

@@ -60,7 +60,8 @@ class Channel(HeapObject):
 
     __slots__ = ("capacity", "buffer", "closed", "sendq", "recvq",
                  "label", "make_site", "last_sender_goid",
-                 "last_receiver_goid", "total_transfers")
+                 "last_receiver_goid", "total_transfers",
+                 "proven_leak_free")
 
     kind = "chan"
 
@@ -81,6 +82,11 @@ class Channel(HeapObject):
         self.last_sender_goid = 0
         self.last_receiver_goid = 0
         self.total_transfers = 0
+        # Set at make_chan time when an installed ProofRegistry holds a
+        # leak-freedom certificate for this (make-site, capacity): the
+        # detector fixpoint treats goroutines blocked only on proven
+        # channels as live without scanning (repro.core.detector).
+        self.proven_leak_free = False
 
     def note_transfer(self, sender_goid: int, receiver_goid: int) -> None:
         """Record one completed message transfer (goid 0 = unknown side)."""

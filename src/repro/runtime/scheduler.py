@@ -131,6 +131,12 @@ class Scheduler:
         self.mask_key: Callable[[int], int] = lambda addr: addr
         #: Optional event tracer (see repro.runtime.tracing).
         self.tracer = None
+        #: Optional static-proof registry (see repro.staticcheck.proofs).
+        #: When installed, make_chan tags channels whose (make-site,
+        #: capacity) carries a leak-freedom certificate; the detector
+        #: skips sudog scans for goroutines blocked only on tagged
+        #: channels.  None = proofs off (no channel ever tagged).
+        self.proof_registry = None
         #: Optional telemetry hub (see repro.telemetry).  Every
         #: instrumentation site guards on ``is not None`` so the
         #: disabled path costs one attribute check.

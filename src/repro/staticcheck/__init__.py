@@ -15,6 +15,12 @@ paper's leak taxonomy.
 
 Cross-validation against GOLF's dynamic ground truth lives in
 :mod:`repro.staticcheck.crossval`.
+
+The behavioral-type layer (trace abstraction + synchronous composition
+over the same extractions, producing machine-checkable leak-freedom
+certificates that the runtime detector consumes) lives in
+:mod:`repro.staticcheck.behavior`, :mod:`repro.staticcheck.proofs`, and
+:mod:`repro.staticcheck.fusion`; see docs/VET.md.
 """
 
 from repro.staticcheck.model import (
@@ -41,11 +47,29 @@ from repro.staticcheck.report import (
     vet_paths,
 )
 from repro.staticcheck.crossval import CrossvalResult, run_crossval
+from repro.staticcheck.behavior import (
+    POTENTIAL,
+    PROVEN,
+    UNPROVEN,
+    BehaviorAnalysis,
+    analyze_callable_behavior,
+    analyze_extraction_behavior,
+)
+from repro.staticcheck.proofs import (
+    Certificate,
+    ProofRegistry,
+    build_registry,
+    certificates_for,
+    verify_certificate,
+)
+from repro.staticcheck.fusion import run_equivalence_oracle
 
 __all__ = [
     "ALL_RULES",
     "Annotation",
+    "BehaviorAnalysis",
     "CLEAN",
+    "Certificate",
     "CrossvalResult",
     "Diagnostic",
     "ERROR",
@@ -53,17 +77,26 @@ __all__ = [
     "FunctionReport",
     "INFO",
     "LEAKY",
+    "POTENTIAL",
+    "PROVEN",
+    "ProofRegistry",
     "SEVERITY_RANK",
     "SUSPECT",
     "UNKNOWN",
+    "UNPROVEN",
     "VetReport",
     "WARNING",
     "analyze_callable",
+    "analyze_callable_behavior",
     "analyze_extraction",
+    "analyze_extraction_behavior",
     "analyze_file",
+    "build_registry",
+    "certificates_for",
     "extract_callable",
     "extract_file",
     "parse_annotations",
     "run_crossval",
+    "run_equivalence_oracle",
     "vet_paths",
 ]

@@ -29,11 +29,13 @@ _FLAGGED = (LEAKY, SUSPECT)
 
 class BenchRow:
     __slots__ = ("name", "source", "population", "truth_leaky", "sites",
-                 "flaky", "verdict", "rules", "outcome", "detail")
+                 "flaky", "verdict", "rules", "outcome", "detail",
+                 "behavior")
 
     def __init__(self, name: str, source: str, population: str,
                  truth_leaky: bool, sites: List[str], flaky: bool,
-                 report: FunctionReport):
+                 report: FunctionReport,
+                 behavior: Optional[Dict[str, Any]] = None):
         self.name = name
         self.source = source
         self.population = population        # "leaky" | "fixed"
@@ -42,7 +44,15 @@ class BenchRow:
         self.flaky = flaky
         self.verdict = report.verdict
         self.rules = report.rules_hit()
+        #: Behavioral-engine summary (``None`` under the rules engine):
+        #: ``{"proven": n, "potential": n, "unknown": n}``.  A channel
+        #: with a definite counterexample trace counts as flagged even
+        #: when no rule fired — the fused engine's recall can only grow,
+        #: and the zero-POTENTIAL-on-fixed invariant protects precision.
+        self.behavior = behavior
         flagged = report.verdict in _FLAGGED
+        if behavior is not None and behavior["potential"]:
+            flagged = True
         if truth_leaky:
             self.outcome = "TP" if flagged else "FN"
         else:
@@ -53,13 +63,19 @@ class BenchRow:
                 if report.verdict == "unknown"
                 else "analysis found nothing")
         elif self.outcome == "FP":
-            self.detail = "rules fired on a fixed variant: " + \
-                ", ".join(self.rules)
+            sources = []
+            if self.rules:
+                sources.append("rules: " + ", ".join(self.rules))
+            if behavior is not None and behavior["potential"]:
+                sources.append(
+                    f"behavioral counterexamples: {behavior['potential']}")
+            self.detail = ("flagged a fixed variant ("
+                           + "; ".join(sources) + ")")
         else:
             self.detail = ""
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        d = {
             "name": self.name,
             "source": self.source,
             "population": self.population,
@@ -71,11 +87,22 @@ class BenchRow:
             "outcome": self.outcome,
             "detail": self.detail,
         }
+        if self.behavior is not None:
+            d["behavior"] = dict(self.behavior)
+        return d
 
 
 class CrossvalResult:
-    def __init__(self, rows: List[BenchRow]):
+    def __init__(self, rows: List[BenchRow], engine: str = "rules"):
         self.rows = rows
+        self.engine = engine               # "rules" | "behavior"
+
+    @property
+    def proven_channels(self) -> int:
+        """Channels certified leak-free across the corpus (behavioral
+        engine only; zero under the rules engine)."""
+        return sum(row.behavior["proven"] for row in self.rows
+                   if row.behavior is not None)
 
     def _count(self, outcome: str) -> int:
         return sum(1 for row in self.rows if row.outcome == outcome)
@@ -113,15 +140,19 @@ class CrossvalResult:
         return [row for row in self.rows if row.outcome == "FP"]
 
     def to_dict(self) -> Dict[str, Any]:
+        summary = {
+            "tp": self.tp, "fn": self.fn, "fp": self.fp, "tn": self.tn,
+            "leaky_population": self.tp + self.fn,
+            "fixed_population": self.fp + self.tn,
+            "recall": round(self.recall, 4),
+            "precision": round(self.precision, 4),
+        }
+        if self.engine != "rules":
+            summary["engine"] = self.engine
+            summary["proven_channels"] = self.proven_channels
         return {
             "schema": "repro-vet-crossval/1",
-            "summary": {
-                "tp": self.tp, "fn": self.fn, "fp": self.fp, "tn": self.tn,
-                "leaky_population": self.tp + self.fn,
-                "fixed_population": self.fp + self.tn,
-                "recall": round(self.recall, 4),
-                "precision": round(self.precision, 4),
-            },
+            "summary": summary,
             # No silent misses: every FP/FN is enumerated by name.
             "false_negatives": [
                 {"name": row.name, "verdict": row.verdict,
@@ -140,9 +171,11 @@ class CrossvalResult:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     def format_text(self) -> str:
+        engine_note = ("" if self.engine == "rules"
+                       else f" [engine: {self.engine}]")
         lines = [
             "static-vs-dynamic cross-validation "
-            "(ground truth: GOLF microbench registry)",
+            f"(ground truth: GOLF microbench registry){engine_note}",
             "",
             f"  {'population':<14s} {'n':>4s} {'flagged':>8s} "
             f"{'missed':>7s}",
@@ -154,6 +187,9 @@ class CrossvalResult:
             f"  recall    {self.recall:.4f}",
             f"  precision {self.precision:.4f}",
         ]
+        if self.engine != "rules":
+            lines.append(f"  proven-leak-free channels: "
+                         f"{self.proven_channels}")
         if self.false_negatives():
             lines.append("")
             lines.append("  false negatives (leaky, not flagged):")
@@ -170,14 +206,23 @@ class CrossvalResult:
 
 
 def run_crossval(include_fixed: bool = True,
-                 truth: Optional[List[Dict[str, Any]]] = None
-                 ) -> CrossvalResult:
+                 truth: Optional[List[Dict[str, Any]]] = None,
+                 engine: str = "rules") -> CrossvalResult:
     """Analyze the labeled corpus statically and join with dynamic truth.
 
     ``truth`` defaults to :func:`repro.microbench.registry.ground_truth`
     — one row per program in registry-sorted order, so the report is
     reproducible byte for byte.
+
+    ``engine="behavior"`` runs the behavioral-type engine alongside the
+    rules: a program is flagged when a rule fires *or* a channel gets a
+    definite counterexample trace (``POTENTIAL``), and the summary
+    carries the corpus-wide proven-channel count.  UNKNOWN channels fall
+    back to the rules verdict, so recall never drops below the rules
+    engine's.
     """
+    if engine not in ("rules", "behavior"):
+        raise ValueError(f"unknown crossval engine {engine!r}")
     if truth is None:
         from repro.microbench.registry import ground_truth
         truth = ground_truth()
@@ -186,7 +231,20 @@ def run_crossval(include_fixed: bool = True,
         if not include_fixed and entry["population"] == "fixed":
             continue
         report = analyze_callable(entry["body"], name=entry["name"])
+        behavior = None
+        if engine == "behavior":
+            from repro.staticcheck.behavior import (
+                analyze_callable_behavior,
+            )
+            analysis = analyze_callable_behavior(
+                entry["body"], name=entry["name"])
+            behavior = {
+                "proven": len(analysis.proven),
+                "potential": len(analysis.potential),
+                "unknown": len(analysis.unknown),
+            }
         rows.append(BenchRow(
             entry["name"], entry["source"], entry["population"],
-            entry["leaky"], entry["sites"], entry["flaky"], report))
-    return CrossvalResult(rows)
+            entry["leaky"], entry["sites"], entry["flaky"], report,
+            behavior=behavior))
+    return CrossvalResult(rows, engine=engine)

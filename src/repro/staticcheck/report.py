@@ -7,18 +7,26 @@ Annotation grammar (machine-readable expectations in source comments):
 - ``# vet: clean`` — the enclosing function must produce no warnings
   or errors;
 - ``# vet: ok <rule-id> [reason]`` — suppress a diagnostic of that
-  rule anchored on this exact line (inline waiver).
+  rule anchored on this exact line (inline waiver);
+- ``# vet: chan=<label> proven|potential|unknown`` — the channel with
+  that ``MakeChan`` label in the enclosing function must receive
+  exactly this behavioral-type verdict (checked under ``--prove``;
+  ignored otherwise).
 
-``expect``/``clean`` attach to the *root* function whose span contains
-the comment (or whose ``def`` line directly follows it); ``ok`` is
-line-scoped.  In ``--expect`` mode, expected diagnostics do not count
-toward ``--fail-on``, but a missing expectation or an unexpected
-warning/error is a failure — the corpus of intentionally-leaky
-examples stays green exactly when the analyzer reproduces its
-annotations.
+``expect``/``clean``/``chan`` attach to the *root* function whose span
+contains the comment (or whose ``def`` line directly follows it);
+``ok`` is line-scoped.  In ``--expect`` mode, expected diagnostics do
+not count toward ``--fail-on``, but a missing expectation or an
+unexpected warning/error is a failure — the corpus of
+intentionally-leaky examples stays green exactly when the analyzer
+reproduces its annotations.  Malformed annotations (unknown kind,
+missing channel label or expectation, invalid expectation word) are
+reported as annotation problems and always fail the run.
 
-All output is deterministic: reports iterate in sorted order and the
-JSON encoder uses sorted keys, so repeated runs are byte-identical.
+All output is deterministic: reports, diagnostics, mismatches, and
+problems iterate in sorted order, target paths are normalized, and the
+JSON encoder sorts keys — repeated runs are byte-identical regardless
+of argument spelling (``examples`` vs ``./examples/``).
 """
 
 from __future__ import annotations
@@ -39,43 +47,105 @@ from repro.staticcheck.model import (
 from repro.staticcheck.rules import ALL_RULES, analyze_extraction
 
 _ANNOTATION_RE = re.compile(
-    r"#\s*vet:\s*(?P<kind>expect|clean|ok)\b\s*(?P<args>[^#\n]*)")
+    r"#\s*vet:\s*(?P<kind>[A-Za-z_][A-Za-z0-9_]*)(?P<args>(?:=|\s|$)"
+    r"[^#\n]*|)")
+
+#: Valid expectation words for ``# vet: chan=<label> <expectation>``.
+CHAN_EXPECTATIONS = ("proven", "potential", "unknown")
 
 
 class Annotation:
-    __slots__ = ("line", "kind", "rules", "reason")
+    __slots__ = ("line", "kind", "rules", "reason", "channel",
+                 "expectation")
 
     def __init__(self, line: int, kind: str, rules: Tuple[str, ...],
-                 reason: str = ""):
+                 reason: str = "", channel: str = "",
+                 expectation: str = ""):
         self.line = line
-        self.kind = kind          # "expect" | "clean" | "ok"
+        self.kind = kind          # "expect" | "clean" | "ok" | "chan"
         self.rules = rules
         self.reason = reason
+        self.channel = channel    # chan: MakeChan label
+        self.expectation = expectation  # chan: proven|potential|unknown
 
     def __repr__(self) -> str:
+        if self.kind == "chan":
+            return f"<vet:chan={self.channel} {self.expectation} " \
+                   f"@{self.line}>"
         return f"<vet:{self.kind} {','.join(self.rules)} @{self.line}>"
 
 
-def parse_annotations(source: str) -> List[Annotation]:
+def parse_annotations(source: str,
+                      problems: Optional[List[str]] = None
+                      ) -> List[Annotation]:
+    """Parse ``# vet:`` annotations out of ``source``.
+
+    When ``problems`` is given, malformed annotations — unknown kind,
+    ``chan`` without a label or expectation, an invalid expectation
+    word — append a descriptive message instead of being silently
+    dropped.
+    """
     out: List[Annotation] = []
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _ANNOTATION_RE.search(line)
         if match is None:
             continue
         kind = match.group("kind")
-        args = match.group("args").strip()
+        args = match.group("args")
         if kind == "clean":
             out.append(Annotation(lineno, kind, ()))
         elif kind == "expect":
             rules = tuple(
-                tok for tok in re.split(r"[,\s]+", args) if tok)
+                tok for tok in re.split(r"[,\s]+", args.strip()) if tok)
             out.append(Annotation(lineno, kind, rules))
-        else:  # ok
-            parts = args.split(None, 1)
+        elif kind == "ok":
+            parts = args.strip().split(None, 1)
             rule = parts[0] if parts else ""
             reason = parts[1] if len(parts) > 1 else ""
             out.append(Annotation(lineno, kind, (rule,), reason))
+        elif kind == "chan":
+            ann = _parse_chan_annotation(lineno, args, problems)
+            if ann is not None:
+                out.append(ann)
+        elif problems is not None:
+            problems.append(
+                f"line {lineno}: unknown annotation kind {kind!r} "
+                f"(want expect, clean, ok, or chan=<label>)")
     return out
+
+
+def _parse_chan_annotation(lineno: int, args: str,
+                           problems: Optional[List[str]]
+                           ) -> Optional[Annotation]:
+    """Parse ``chan=<label> <expectation>``; None when malformed."""
+    def problem(message: str) -> None:
+        if problems is not None:
+            problems.append(f"line {lineno}: {message}")
+
+    args = args.strip()
+    if not args.startswith("="):
+        problem("malformed channel annotation: want "
+                "'chan=<label> <expectation>'")
+        return None
+    parts = args[1:].split(None, 1)
+    label = parts[0] if parts else ""
+    if not label:
+        problem("malformed channel annotation: missing channel label "
+                "after 'chan='")
+        return None
+    if len(parts) < 2 or not parts[1].strip():
+        problem(f"channel annotation 'chan={label}' is missing an "
+                f"expectation (want one of: "
+                f"{', '.join(CHAN_EXPECTATIONS)})")
+        return None
+    expectation = parts[1].split()[0]
+    if expectation not in CHAN_EXPECTATIONS:
+        problem(f"channel annotation 'chan={label}' has invalid "
+                f"expectation {expectation!r} (want one of: "
+                f"{', '.join(CHAN_EXPECTATIONS)})")
+        return None
+    return Annotation(lineno, "chan", (), channel=label,
+                      expectation=expectation)
 
 
 def validate_annotations(annotations: Sequence[Annotation]) -> List[str]:
@@ -100,6 +170,9 @@ class ExpectMismatch:
         self.rule = rule
         self.site = site
 
+    def sort_key(self) -> Tuple[str, str, str, str, str]:
+        return (self.file, self.function, self.kind, self.rule, self.site)
+
     def to_dict(self) -> Dict[str, str]:
         return {"function": self.function, "file": self.file,
                 "kind": self.kind, "rule": self.rule, "site": self.site}
@@ -110,6 +183,36 @@ class ExpectMismatch:
                     f"{self.rule} did not fire")
         return (f"{self.site}: {self.function}: unexpected {self.rule} "
                 f"(no matching `# vet:` annotation)")
+
+
+class ChanMismatch:
+    """A ``# vet: chan=`` expectation the behavioral engine contradicted."""
+
+    __slots__ = ("function", "file", "channel", "expected", "actual")
+
+    def __init__(self, function: str, file: str, channel: str,
+                 expected: str, actual: str):
+        self.function = function
+        self.file = file
+        self.channel = channel
+        self.expected = expected
+        self.actual = actual      # verdict word, or "no-such-channel"
+
+    def sort_key(self) -> Tuple[str, str, str]:
+        return (self.file, self.function, self.channel)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"function": self.function, "file": self.file,
+                "channel": self.channel, "expected": self.expected,
+                "actual": self.actual}
+
+    def format(self) -> str:
+        if self.actual == "no-such-channel":
+            return (f"{self.file}: {self.function}: chan={self.channel}: "
+                    f"no channel with that label")
+        return (f"{self.file}: {self.function}: chan={self.channel}: "
+                f"expected {self.expected}, behavioral verdict is "
+                f"{self.actual}")
 
 
 def _attach_annotations(
@@ -170,14 +273,62 @@ def _attach_annotations(
     return mismatches
 
 
+#: Behavioral-verdict constants → annotation expectation words.
+_VERDICT_WORDS = {
+    "proven-leak-free": "proven",
+    "potential-leak": "potential",
+    "unknown": "unknown",
+}
+
+
+def _check_chan_annotations(
+        reports: List[FunctionReport],
+        analyses: List[Any],
+        annotations: Sequence[Annotation]) -> List[ChanMismatch]:
+    """Join ``chan=`` annotations with behavioral per-channel verdicts."""
+    mismatches: List[ChanMismatch] = []
+    spans = sorted(zip(reports, analyses), key=lambda pair: pair[0].line)
+
+    def owner_of(line: int):
+        for report, analysis in spans:
+            if report.line <= line <= report.end_line:
+                return report, analysis
+        for report, analysis in spans:
+            if line == report.line - 1:
+                return report, analysis
+        return None, None
+
+    for ann in annotations:
+        if ann.kind != "chan":
+            continue
+        report, analysis = owner_of(ann.line)
+        if report is None or analysis is None:
+            continue
+        actual = "no-such-channel"
+        for verdict in analysis.verdicts:
+            if verdict.label == ann.channel:
+                actual = _VERDICT_WORDS[verdict.verdict]
+                break
+        if actual != ann.expectation:
+            mismatches.append(ChanMismatch(
+                report.name, report.file, ann.channel,
+                ann.expectation, actual))
+    return mismatches
+
+
 class VetReport:
     """Aggregated vet run over one or more targets."""
 
     def __init__(self):
         self.reports: List[FunctionReport] = []
         self.mismatches: List[ExpectMismatch] = []
+        self.chan_mismatches: List[ChanMismatch] = []
         self.annotation_problems: List[str] = []
         self.expect_mode = False
+        self.prove_mode = False
+        #: Per-function behavioral summaries (prove mode): sorted list of
+        #: ``{"function", "file", "channels": [verdict dicts]}``.
+        self.proofs: List[Dict[str, Any]] = []
 
     # -- outcome --------------------------------------------------------
 
@@ -191,33 +342,68 @@ class VetReport:
                     out[diag.severity] += 1
         return out
 
+    def proof_counts(self) -> Dict[str, int]:
+        out = {"proven": 0, "potential": 0, "unknown": 0}
+        for entry in self.proofs:
+            for chan in entry["channels"]:
+                out[_VERDICT_WORDS[chan["verdict"]]] += 1
+        return out
+
     def failures(self, fail_on: str = ERROR) -> List[str]:
-        """Human-readable reasons this run should exit non-zero."""
-        threshold = SEVERITY_RANK[fail_on]
+        """Human-readable reasons this run should exit non-zero.
+
+        ``fail_on="never"`` disables only the severity gate; expect and
+        channel mismatches plus malformed annotations are correctness
+        failures and always count.
+        """
         reasons: List[str] = []
-        for report in self.reports:
-            for diag in report.diagnostics:
-                if diag.suppressed or (diag.expected and self.expect_mode):
-                    continue
-                if SEVERITY_RANK[diag.severity] >= threshold:
-                    reasons.append(
-                        f"{diag.site}: {diag.severity}: {diag.rule}")
+        if fail_on != "never":
+            threshold = SEVERITY_RANK[fail_on]
+            findings = []
+            for report in self.reports:
+                for diag in report.diagnostics:
+                    if diag.suppressed or \
+                            (diag.expected and self.expect_mode):
+                        continue
+                    if SEVERITY_RANK[diag.severity] >= threshold:
+                        findings.append(
+                            f"{diag.site}: {diag.severity}: {diag.rule}")
+            reasons.extend(sorted(findings))
         if self.expect_mode:
-            reasons.extend(m.format() for m in self.mismatches)
-        reasons.extend(self.annotation_problems)
+            reasons.extend(
+                m.format()
+                for m in sorted(self.mismatches,
+                                key=ExpectMismatch.sort_key))
+        if self.prove_mode:
+            reasons.extend(
+                m.format()
+                for m in sorted(self.chan_mismatches,
+                                key=ChanMismatch.sort_key))
+        reasons.extend(sorted(self.annotation_problems))
         return reasons
 
     # -- rendering ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "schema": "repro-vet-report/1",
             "expect_mode": self.expect_mode,
             "summary": dict(sorted(self.counts().items())),
             "functions": [r.to_dict() for r in self._sorted_reports()],
-            "expect_mismatches": [m.to_dict() for m in self.mismatches],
-            "annotation_problems": list(self.annotation_problems),
+            "expect_mismatches": [
+                m.to_dict() for m in sorted(self.mismatches,
+                                            key=ExpectMismatch.sort_key)],
+            "annotation_problems": sorted(self.annotation_problems),
         }
+        if self.prove_mode:
+            doc["prove_mode"] = True
+            doc["proof_summary"] = dict(sorted(
+                self.proof_counts().items()))
+            doc["proofs"] = list(self.proofs)
+            doc["chan_mismatches"] = [
+                m.to_dict() for m in sorted(self.chan_mismatches,
+                                            key=ChanMismatch.sort_key)]
+        return doc
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -230,12 +416,29 @@ class VetReport:
         for report in self._sorted_reports():
             lines.append(f"{report.file}:{report.line}: "
                          f"{report.name}: {report.verdict}")
-            for diag in report.diagnostics:
+            for diag in sorted(
+                    report.diagnostics,
+                    key=lambda d: (d.site.file, d.site.line, d.rule)):
                 lines.append("  " + diag.format().replace("\n", "\n  "))
+        if self.prove_mode:
+            for entry in self.proofs:
+                for chan in entry["channels"]:
+                    word = _VERDICT_WORDS[chan["verdict"]]
+                    label = chan["label"] or "<unlabeled>"
+                    lines.append(
+                        f"PROOF: {entry['file']}: {entry['function']}: "
+                        f"chan {label} @ {chan['make_site']}: {word}"
+                        + (f" ({chan['reason']})"
+                           if chan.get("reason") else ""))
         if self.expect_mode:
-            for mismatch in self.mismatches:
+            for mismatch in sorted(self.mismatches,
+                                   key=ExpectMismatch.sort_key):
                 lines.append(f"EXPECT-MISMATCH: {mismatch.format()}")
-        for problem in self.annotation_problems:
+        if self.prove_mode:
+            for mismatch in sorted(self.chan_mismatches,
+                                   key=ChanMismatch.sort_key):
+                lines.append(f"CHAN-MISMATCH: {mismatch.format()}")
+        for problem in sorted(self.annotation_problems):
             lines.append(f"ANNOTATION: {problem}")
         counts = self.counts()
         lines.append(
@@ -244,6 +447,11 @@ class VetReport:
             f"{counts['unknown']} unknown, {counts['clean']} clean "
             f"({counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
             f"{counts[INFO]} info)")
+        if self.prove_mode:
+            pc = self.proof_counts()
+            lines.append(
+                f"proofs: {pc['proven']} proven, {pc['potential']} "
+                f"potential, {pc['unknown']} unknown channel(s)")
         return "\n".join(lines) + "\n"
 
 
@@ -266,13 +474,15 @@ def analyze_file(path: str) -> List[FunctionReport]:
 def _expand_targets(paths: Sequence[str]) -> List[str]:
     files: List[str] = []
     for path in paths:
+        path = os.path.normpath(path)
         if os.path.isdir(path):
             for root, dirs, names in os.walk(path):
                 dirs.sort()
                 dirs[:] = [d for d in dirs if not d.startswith((".", "__"))]
                 for name in sorted(names):
                     if name.endswith(".py") and not name.startswith("__"):
-                        files.append(os.path.join(root, name))
+                        files.append(
+                            os.path.normpath(os.path.join(root, name)))
         else:
             files.append(path)
     seen = set()
@@ -284,18 +494,48 @@ def _expand_targets(paths: Sequence[str]) -> List[str]:
     return out
 
 
-def vet_paths(paths: Sequence[str], expect: bool = False) -> VetReport:
-    """Run the analyzer over files/directories and aggregate."""
+def vet_paths(paths: Sequence[str], expect: bool = False,
+              prove: bool = False) -> VetReport:
+    """Run the analyzer over files/directories and aggregate.
+
+    ``prove`` additionally runs the behavioral-type engine per root
+    function, records every channel's proven/potential/unknown verdict,
+    and enforces ``# vet: chan=`` expectations.
+    """
     vet = VetReport()
     vet.expect_mode = expect
+    vet.prove_mode = prove
     for path in _expand_targets(paths):
-        reports = analyze_file(path)
+        extractions = extract_file(path)
+        reports = [analyze_extraction(ex) for ex in extractions]
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
-        annotations = parse_annotations(source)
+        parse_problems: List[str] = []
+        annotations = parse_annotations(source, problems=parse_problems)
+        vet.annotation_problems.extend(
+            f"{path}: {problem}" for problem in parse_problems)
         vet.annotation_problems.extend(
             f"{path}: {problem}"
             for problem in validate_annotations(annotations))
         vet.mismatches.extend(_attach_annotations(reports, annotations))
+        if prove:
+            from repro.staticcheck.behavior import (
+                analyze_extraction_behavior,
+            )
+            analyses = [analyze_extraction_behavior(ex)
+                        for ex in extractions]
+            for report, analysis in sorted(
+                    zip(reports, analyses),
+                    key=lambda pair: (pair[0].file, pair[0].line,
+                                      pair[0].name)):
+                if not analysis.verdicts:
+                    continue
+                vet.proofs.append({
+                    "function": report.name,
+                    "file": report.file,
+                    "channels": [v.to_dict() for v in analysis.verdicts],
+                })
+            vet.chan_mismatches.extend(
+                _check_chan_annotations(reports, analyses, annotations))
         vet.reports.extend(reports)
     return vet

@@ -1,0 +1,273 @@
+"""Behavioral-type engine: verdicts, edge cases, and certificates.
+
+The engine (repro.staticcheck.behavior) abstracts goroutine bodies into
+forkable trace types and explores their synchronous composition; each
+channel gets PROVEN (leak-free, with a machine-checkable certificate),
+POTENTIAL (a definite counterexample trace), or UNKNOWN (sound
+give-up).  These tests pin the verdicts on the tricky corners —
+select-with-default, nil-channel arms, close-then-recv drains, buffered
+capacity, recursive spawns — and the certificate lifecycle
+(round-trip, tamper detection, registry demotion).
+"""
+
+import pytest
+
+from repro.staticcheck.behavior import (
+    POTENTIAL,
+    PROVEN,
+    UNPROVEN,
+    analyze_callable_behavior,
+)
+from repro.staticcheck.proofs import (
+    Certificate,
+    ProofRegistry,
+    build_registry,
+    certificates_for,
+    normalize_site,
+    verify_certificate,
+)
+from repro.runtime.instructions import (
+    Close,
+    Go,
+    MakeChan,
+    Recv,
+    RecvCase,
+    Select,
+    Send,
+    SendCase,
+    Work,
+)
+
+
+def _verdict_by_label(analysis, label):
+    for v in analysis.verdicts:
+        if v.label == label:
+            return v
+    raise AssertionError(
+        f"no channel labeled {label!r}; have "
+        f"{[v.label for v in analysis.verdicts]}")
+
+
+class TestCoreVerdicts:
+    def test_paired_rendezvous_is_proven(self):
+        def body():
+            done = yield MakeChan(0, label="done")
+
+            def worker(ch=done):
+                yield Send(ch, 1)
+
+            yield Go(worker)
+            yield Recv(done)
+
+        analysis = analyze_callable_behavior(body)
+        v = _verdict_by_label(analysis, "done")
+        assert v.verdict == PROVEN
+        assert not v.counterexample
+
+    def test_orphan_sender_is_potential_with_counterexample(self):
+        def body():
+            orphan = yield MakeChan(0, label="orphan")
+
+            def worker(ch=orphan):
+                yield Send(ch, 1)
+
+            yield Go(worker)
+
+        analysis = analyze_callable_behavior(body)
+        v = _verdict_by_label(analysis, "orphan")
+        assert v.verdict == POTENTIAL
+        # The counterexample is a concrete trace ending with the stuck
+        # send — the static analog of GOLF's leak report.
+        assert v.counterexample
+        assert any("send" in line for line in v.counterexample)
+
+
+class TestEdgeCases:
+    def test_select_with_default_never_blocks(self):
+        """A send guarded by a default arm may drop the value but can
+        never strand the sender: proven."""
+
+        def body():
+            best = yield MakeChan(0, label="best-effort")
+
+            def worker(ch=best):
+                yield Select([SendCase(ch, 1)], default=True)
+
+            yield Go(worker)
+            # Main may or may not be listening; the default arm makes
+            # the worker safe either way.
+            yield Select([RecvCase(best)], default=True)
+
+        analysis = analyze_callable_behavior(body)
+        assert _verdict_by_label(analysis, "best-effort").verdict == PROVEN
+
+    def test_nil_channel_arm_is_not_proven(self):
+        """A select whose only live arm is a nil channel blocks
+        forever; the engine must not certify the channel feeding it."""
+
+        def body():
+            ch = yield MakeChan(0, label="guarded")
+
+            def worker(c=ch):
+                # A nil arm is folded away: this select has no enabled
+                # arms and parks forever.
+                yield Select([RecvCase(None)])
+                yield Send(c, 1)
+
+            yield Go(worker)
+            yield Recv(ch)
+
+        analysis = analyze_callable_behavior(body)
+        v = _verdict_by_label(analysis, "guarded")
+        assert v.verdict in (POTENTIAL, UNPROVEN)
+
+    def test_close_then_recv_drain_is_proven(self):
+        """Producers close; the consumer drains until closed-and-empty.
+        The trace abstraction must model the drain as terminating."""
+
+        def body():
+            items = yield MakeChan(0, label="drained")
+
+            def producer(ch=items):
+                for _ in range(3):
+                    yield Send(ch, 1)
+                yield Close(ch)
+
+            yield Go(producer)
+            while True:
+                _, ok = yield Recv(items)
+                if not ok:
+                    break
+
+        analysis = analyze_callable_behavior(body)
+        assert _verdict_by_label(analysis, "drained").verdict == PROVEN
+
+    def test_buffered_capacity_absorbs_exact_fit(self):
+        """Two sends into a capacity-2 channel with no receiver: the
+        buffer absorbs both, so nothing blocks — proven."""
+
+        def body():
+            buf = yield MakeChan(2, label="fits")
+
+            def worker(ch=buf):
+                yield Send(ch, 1)
+                yield Send(ch, 2)
+
+            yield Go(worker)
+            yield Work(5)
+
+        analysis = analyze_callable_behavior(body)
+        assert _verdict_by_label(analysis, "fits").verdict == PROVEN
+
+    def test_buffered_capacity_overflow_is_potential(self):
+        """Three sends into capacity 2 with no receiver: the third
+        blocks forever — the count abstraction must catch it."""
+
+        def body():
+            buf = yield MakeChan(2, label="overflows")
+
+            def worker(ch=buf):
+                for _ in range(3):
+                    yield Send(ch, 1)
+
+            yield Go(worker)
+            yield Work(5)
+
+        analysis = analyze_callable_behavior(body)
+        v = _verdict_by_label(analysis, "overflows")
+        assert v.verdict == POTENTIAL
+        assert v.counterexample
+
+    def test_recursive_spawn_hits_unknown_not_proven(self):
+        """Self-spawning bodies exceed the finite component bound; the
+        engine must give up soundly rather than certify."""
+
+        def body():
+            ch = yield MakeChan(0, label="recursive")
+
+            def worker(c=ch):
+                yield Go(worker)
+                yield Send(c, 1)
+
+            yield Go(worker)
+            yield Recv(ch)
+
+        analysis = analyze_callable_behavior(body)
+        assert _verdict_by_label(analysis, "recursive").verdict != PROVEN
+
+
+class TestCertificates:
+    def _proven_analysis(self):
+        def body():
+            done = yield MakeChan(0, label="done")
+
+            def worker(ch=done):
+                yield Send(ch, 1)
+
+            yield Go(worker)
+            yield Recv(done)
+
+        return analyze_callable_behavior(body, name="cert_body")
+
+    def test_certificate_verifies_and_round_trips(self):
+        analysis = self._proven_analysis()
+        certs = certificates_for(analysis)
+        assert len(certs) == 1
+        cert = certs[0]
+        ok, reason = verify_certificate(cert)
+        assert ok, reason
+        clone = Certificate.from_dict(cert.to_dict())
+        ok, reason = verify_certificate(clone)
+        assert ok, reason
+
+    def test_tampered_certificate_is_rejected(self):
+        analysis = self._proven_analysis()
+        cert = certificates_for(analysis)[0]
+        doc = cert.to_dict()
+        doc["model_hash"] = "0" * 16
+        ok, reason = verify_certificate(Certificate.from_dict(doc))
+        assert not ok
+        assert "hash" in reason
+
+    def test_tampered_model_is_rejected(self):
+        """Editing the model (e.g. deleting the receive) must fail
+        verification even if the hash is recomputed honestly."""
+        analysis = self._proven_analysis()
+        cert = certificates_for(analysis)[0]
+        doc = cert.to_dict()
+        for comp in doc["model"]["components"]:
+            comp["steps"] = [s for s in comp["steps"]
+                             if s["kind"] != "recv"]
+        tampered = Certificate.from_dict(doc)
+        tampered.model_hash = tampered.model.hash()
+        ok, reason = verify_certificate(tampered)
+        assert not ok
+
+    def test_registry_round_trip_and_lookup(self):
+        analysis = self._proven_analysis()
+        registry = build_registry([analysis])
+        assert len(registry) == 1
+        (site,) = registry.proven_sites()
+        make_site, capacity = site
+        assert registry.is_proven(make_site, capacity)
+        clone = ProofRegistry.from_json(registry.to_json())
+        assert clone.is_proven(make_site, capacity)
+
+    def test_demotion_is_permanent(self):
+        """A site unproven in any loaded analysis stays demoted —
+        leak-freedom is a whole-program property."""
+        analysis = self._proven_analysis()
+        registry = build_registry([analysis])
+        ((make_site, capacity),) = registry.proven_sites()
+        registry.demote(make_site, capacity)
+        assert not registry.is_proven(make_site, capacity)
+        registry.add_analysis(analysis)     # cannot resurrect
+        assert not registry.is_proven(make_site, capacity)
+
+    def test_normalize_site_resolves_relative_paths(self):
+        import os
+
+        rel = "tests/test_behavior_engine.py:10"
+        absolute = normalize_site(rel)
+        assert os.path.isabs(absolute.rsplit(":", 1)[0])
+        assert normalize_site(absolute) == absolute
