@@ -1,0 +1,129 @@
+"""CI gate: the committed BENCH_hotpath.json must still hold.
+
+Re-runs the four hot-path microbenchmarks and checks the committed
+``BENCH_hotpath.json`` on two axes:
+
+- **deterministic fields** (instruction counts, final virtual clocks,
+  mark work, candidate/deadlock counts) must match *exactly* — any
+  drift means an RNG draw, cost-model, or fixpoint change sneaked into
+  a "performance-only" refactor and the file must be regenerated
+  deliberately;
+- **wall-clock fields** are checked leniently, because CI hardware is
+  slower and noisier than the machine the trajectory was pinned on:
+  the committed dispatch speedup must still clear
+  :data:`~benchmarks.bench_hotpath.DISPATCH_SPEEDUP_FLOOR`, and the
+  fresh run must reach at least :data:`WALL_CLOCK_FLOOR` of each
+  committed ops/sec figure (catching order-of-magnitude regressions
+  without flaking on machine variance).
+
+Usage: PYTHONPATH=src:. python benchmarks/check_hotpath_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from benchmarks.bench_hotpath import (
+    BENCH_PATH,
+    DISPATCH_SPEEDUP_FLOOR,
+    collect,
+    deterministic_view,
+    format_hotpath_bench,
+    write_bench_json,
+)
+
+#: The fresh run is archived here for CI artifact upload.
+FRESH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "out",
+    "BENCH_hotpath.fresh.json")
+
+#: Fresh wall-clock throughput may be this much worse than committed
+#: before the gate trips.  Deliberately loose: the committed numbers
+#: come from a quiet bare-metal run, CI runners are shared and slow.
+WALL_CLOCK_FLOOR = 0.25
+
+#: (label, section path, throughput field) triples floor-checked against
+#: the committed doc.
+_WALL_CHECKS = (
+    ("dispatch", ("dispatch",), "ops_per_sec"),
+    ("channel", ("channel",), "ops_per_sec"),
+    ("marking", ("marking",), "marks_per_sec"),
+    ("detector-restart", ("detector", "restart"), "fixpoints_per_sec"),
+)
+
+
+def diff_deterministic(committed: dict, fresh: dict) -> list:
+    """Field-level diffs between deterministic views (empty = match)."""
+    problems = []
+    old, new = deterministic_view(committed), deterministic_view(fresh)
+    for section in sorted(set(old) | set(new)):
+        o, n = old.get(section), new.get(section)
+        if o == n:
+            continue
+        if not isinstance(o, dict) or not isinstance(n, dict):
+            problems.append(f"field {section!r}: committed {o!r} != fresh {n!r}")
+            continue
+        for field in sorted(set(o) | set(n)):
+            if o.get(field) != n.get(field):
+                problems.append(
+                    f"{section}.{field}: committed {o.get(field)!r} "
+                    f"!= fresh {n.get(field)!r}")
+    return problems
+
+
+def _lookup(doc: dict, path: tuple) -> dict:
+    node = doc
+    for part in path:
+        node = node[part]
+    return node
+
+
+def main() -> int:
+    try:
+        with open(BENCH_PATH) as fh:
+            committed = json.load(fh)
+    except FileNotFoundError:
+        print(f"FAIL: {BENCH_PATH} not committed", file=sys.stderr)
+        return 1
+    fresh = collect()
+    print(format_hotpath_bench(fresh))
+    os.makedirs(os.path.dirname(FRESH_PATH), exist_ok=True)
+    write_bench_json(fresh, FRESH_PATH)
+
+    problems = diff_deterministic(committed, fresh)
+
+    # The pinned trajectory: the committed dispatch number must clear the
+    # acceptance floor against the frozen pre-refactor baseline.
+    committed_speedup = committed["speedup_vs_pre_refactor"]["dispatch"]
+    if committed_speedup < DISPATCH_SPEEDUP_FLOOR:
+        problems.append(
+            f"committed dispatch speedup {committed_speedup} below the "
+            f"{DISPATCH_SPEEDUP_FLOOR}x floor")
+
+    # Lenient wall-clock floors: catch collapses, tolerate slow runners.
+    for label, path, field in _WALL_CHECKS:
+        committed_tp = _lookup(committed, path)[field]
+        fresh_tp = _lookup(fresh, path)[field]
+        if fresh_tp < WALL_CLOCK_FLOOR * committed_tp:
+            problems.append(
+                f"{label} throughput {fresh_tp:,.1f} below "
+                f"{WALL_CLOCK_FLOOR}x the committed {committed_tp:,.1f}")
+
+    if problems:
+        print(f"\nFAIL: BENCH_hotpath.json check "
+              f"({len(problems)} problem(s)):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        print("\nIf the change is intentional, regenerate with:\n"
+              "  PYTHONPATH=src:. python benchmarks/bench_hotpath.py",
+              file=sys.stderr)
+        return 1
+    print("\nOK: deterministic fields reproduce exactly; "
+          "dispatch floor and wall-clock floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core import masking
 from repro.gc.heap import Heap
 from repro.gc.marking import mark_from
 from repro.runtime.goroutine import EPSILON, Goroutine, GStatus
@@ -75,6 +74,35 @@ def blocking_object_reachable(heap: Heap, obj: HeapObject) -> bool:
     if obj.addr == 0 or not heap.contains(obj):
         return True
     return heap.is_marked(obj)
+
+
+#: Classification values cached on the goroutine descriptor.
+CLASS_NEITHER = 0   # not a detection candidate (runnable, sleeping, DEAD...)
+CLASS_CANDIDATE = 1  # detectably blocked: masked and fixpoint-checked
+CLASS_PROOF_SKIP = 2  # detectably blocked but statically proven live
+
+
+def classify(g: Goroutine) -> int:
+    """Memoized detector classification of ``g``.
+
+    The verdict depends only on wait state (status, wait reason,
+    ``B(g)``, the system flag) and the ``proven_leak_free`` tags of the
+    blocking objects.  Wait state bumps ``g.wait_seq`` at every
+    transition, and proof tags are fixed at channel creation — so a
+    cached verdict is valid exactly while ``wait_seq`` is unchanged, and
+    daemon-cadence re-checks reclassify only goroutines that parked,
+    woke, or died since the previous pass.
+    """
+    seq = g.wait_seq
+    if g._class_seq == seq:
+        return g._class_val
+    if g.status == GStatus.WAITING and g.is_blocked_detectably:
+        val = CLASS_PROOF_SKIP if proof_skip_eligible(g) else CLASS_CANDIDATE
+    else:
+        val = CLASS_NEITHER
+    g._class_seq = seq
+    g._class_val = val
+    return val
 
 
 def proof_skip_eligible(g: Goroutine) -> bool:
@@ -148,19 +176,36 @@ def detect(heap: Heap, goroutines: Sequence[Goroutine],
     blocked goroutine live that Go's precise stack scan would not.
     """
     result = DetectionResult()
+    if dead_global_hints:
+        roots = list(heap.globals.referents_excluding(dead_global_hints))
+    else:
+        roots = [heap.globals]
+    # One fused pass over ``goroutines`` replaces the historical
+    # classify / mask / initial-root scans.  ``classify`` is memoized on
+    # ``wait_seq``, so at daemon cadence only goroutines whose wait
+    # state changed since the last pass pay the eligibility checks;
+    # proof-skipped and runtime-owned goroutines are filtered here, up
+    # front, never inside the fixpoint loop.  Masking only candidates
+    # (rather than masking all detectably blocked then unmasking the
+    # proof-skipped) leaves every goroutine's mask bit in the identical
+    # state.
     candidates = []
     proof_skipped = []
     for g in goroutines:
-        if g.status == GStatus.WAITING and g.is_blocked_detectably:
-            if proof_skip_eligible(g):
-                proof_skipped.append(g)
-            else:
-                candidates.append(g)
-    masking.mask_blocked_goroutines(goroutines)
-    roots = initial_roots(heap, goroutines, dead_global_hints)
-    for g in proof_skipped:
-        g.masked = False
-        roots.append(g)
+        c = classify(g)
+        if c == CLASS_NEITHER:
+            # GOLF's initial roots R'_0: runnable in the broad sense
+            # (B(g) = ∅), plus kept-deadlocked/pending goroutines, which
+            # stay live forever (paper §5.5).
+            if g.status != GStatus.DEAD:
+                roots.append(g)
+        elif c == CLASS_CANDIDATE:
+            g.masked = True
+            candidates.append(g)
+        else:
+            g.masked = False
+            proof_skipped.append(g)
+            roots.append(g)
     result.proof_skips = len(proof_skipped)
     roots.extend(extra_roots)
 

@@ -331,6 +331,7 @@ class Collector:
             cs.mark_work_units += extra_work
             cs.reachable_dead_bytes += exclusive_bytes
             kept = has_finalizer or not self.config.reclaim
+            g.wait_seq += 1  # verdict changes the detector classification
             if kept:
                 g.status = GStatus.DEADLOCKED
                 if has_finalizer:
@@ -412,21 +413,29 @@ class Collector:
             # Candidates are snapshotted under STW: goroutines that block
             # detectably *after* setup were woken-then-blocked by live
             # mutators and are shaded by the barrier/rescan instead.
+            # Same fused classify/mask/root pass as detector.detect —
+            # memoized on wait_seq, so back-to-back cycles only
+            # reclassify goroutines whose wait state changed.
+            hints = self.config.dead_global_hints
+            if hints:
+                roots = list(self.heap.globals.referents_excluding(hints))
+            else:
+                roots = [self.heap.globals]
             self._candidates = []
-            proof_skipped = []
+            proof_skips = 0
             for g in self.sched.allgs:
-                if g.status == GStatus.WAITING and g.is_blocked_detectably:
-                    if detector_mod.proof_skip_eligible(g):
-                        proof_skipped.append(g)
-                    else:
-                        self._candidates.append(g)
-            masking.mask_blocked_goroutines(self.sched.allgs)
-            roots = detector_mod.initial_roots(
-                self.heap, self.sched.allgs, self.config.dead_global_hints)
-            for g in proof_skipped:
-                g.masked = False
-                roots.append(g)
-            cs.proof_skips = len(proof_skipped)
+                c = detector_mod.classify(g)
+                if c == detector_mod.CLASS_NEITHER:
+                    if g.status != GStatus.DEAD:
+                        roots.append(g)
+                elif c == detector_mod.CLASS_CANDIDATE:
+                    g.masked = True
+                    self._candidates.append(g)
+                else:
+                    g.masked = False
+                    proof_skips += 1
+                    roots.append(g)
+            cs.proof_skips = proof_skips
         else:
             self._candidates = []
             roots = [self.heap.globals] + [

@@ -94,6 +94,8 @@ class CycleStats:
 class GCStats:
     """Accumulated collector statistics across cycles."""
 
+    __slots__ = ("cycles",)
+
     def __init__(self) -> None:
         self.cycles: List[CycleStats] = []
 

@@ -18,13 +18,39 @@ from repro.runtime.goroutine import EPSILON, Goroutine, Sudog
 from repro.runtime.sema import Semaphore
 from repro.runtime.sync import Cond, Mutex, Once, RWMutex, WaitGroup
 from repro.runtime.waitreason import WaitReason
+from repro.trace import events as ev
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.scheduler import Scheduler
 
 
 def execute(sched: "Scheduler", g: Goroutine, instr: ins.Instruction) -> None:
-    """Apply the effect of ``instr`` on behalf of ``g``."""
+    """Apply the effect of ``instr`` on behalf of ``g``.
+
+    Dispatch is a precompiled opcode table: ``instr.OP`` (a dense int
+    interned on each instruction class at module load) indexes
+    ``_DISPATCH`` directly, with an identity check against the expected
+    class so subclasses and foreign instructions keep the historical
+    exact-type semantics via :func:`execute_legacy`.
+    """
+    cls = instr.__class__
+    op = cls.OP
+    # OP is -1 for foreign/subclassed instructions; Python's negative
+    # indexing then selects the last table entry, which the identity
+    # check rejects, so no bounds test is needed on the hot path.
+    if _OP_CLASS[op] is cls:
+        _DISPATCH[op](sched, g, instr)
+        return
+    execute_legacy(sched, g, instr)
+
+
+def execute_legacy(sched: "Scheduler", g: Goroutine,
+                   instr: ins.Instruction) -> None:
+    """The pre-flattening interpreter: exact-type dict dispatch.
+
+    Kept as the reference semantics for the executor differential test —
+    :func:`execute` must be observably indistinguishable from this.
+    """
     handler = _HANDLERS.get(type(instr))
     if handler is None:
         raise InvalidInstruction(f"no handler for instruction {instr!r}")
@@ -43,8 +69,8 @@ def _exec_make_chan(sched, g, instr: ins.MakeChan) -> None:
     if (sched.proof_registry is not None
             and sched.proof_registry.is_proven(ch.make_site, ch.capacity)):
         ch.proven_leak_free = True
-    if sched.tracer is not None:
-        sched.tracer.on_chan_op("chan-make", g, ch)
+    if sched._tracer is not None:
+        sched._tracer.on_chan_op(ev.CHAN_MAKE, g, ch)
     # Resume first: the new object must be rooted (as the goroutine's
     # pending result) before the pacer hook may trigger a collection.
     sched.resume(g, ch)
@@ -60,12 +86,12 @@ def _exec_send(sched, g, instr: ins.Send) -> None:
     if done:
         partner = wakeups[0].sudog.g.goid if wakeups else 0
         ch.note_transfer(g.goid, partner)
-        if sched.tracer is not None:
-            sched.tracer.on_chan_op("chan-send", g, ch, partner=partner)
+        if sched._tracer is not None:
+            sched._tracer.on_chan_op(ev.CHAN_SEND, g, ch, partner=partner)
         sched.apply_wakeups(wakeups)
         sched.resume(g, None)
         return
-    sd = Sudog(g, ch, instr.value, is_send=True)
+    sd = sched.acquire_sudog(g, ch, instr.value, is_send=True)
     g.sudogs = [sd]
     ch.enqueue_sender(sd)
     sched.park(g, WaitReason.CHAN_SEND, (ch,))
@@ -81,12 +107,12 @@ def _exec_recv(sched, g, instr: ins.Recv) -> None:
         partner = wakeups[0].sudog.g.goid if wakeups else 0
         if ok:
             ch.note_transfer(partner, g.goid)
-        if sched.tracer is not None:
-            sched.tracer.on_chan_op("chan-recv", g, ch, partner=partner)
+        if sched._tracer is not None:
+            sched._tracer.on_chan_op(ev.CHAN_RECV, g, ch, partner=partner)
         sched.apply_wakeups(wakeups)
         sched.resume(g, (value, ok))
         return
-    sd = Sudog(g, ch, None, is_send=False)
+    sd = sched.acquire_sudog(g, ch, None, is_send=False)
     g.sudogs = [sd]
     ch.enqueue_receiver(sd)
     sched.park(g, WaitReason.CHAN_RECEIVE, (ch,))
@@ -97,8 +123,8 @@ def _exec_close(sched, g, instr: ins.Close) -> None:
     if ch is None:
         raise CloseOfNilChannel()
     wakeups = ch.close()  # may panic: close of closed channel
-    if sched.tracer is not None:
-        sched.tracer.on_chan_op("chan-close", g, ch,
+    if sched._tracer is not None:
+        sched._tracer.on_chan_op(ev.CHAN_CLOSE, g, ch,
                                 extra={"woken": len(wakeups)})
     sched.apply_wakeups(wakeups)
     sched.resume(g, None)
@@ -127,8 +153,8 @@ def _exec_select(sched, g, instr: ins.Select) -> None:
             assert done, "ready send case must complete"
             partner = wakeups[0].sudog.g.goid if wakeups else 0
             ch.note_transfer(g.goid, partner)
-            if sched.tracer is not None:
-                sched.tracer.on_select(g, i, ch, "send", partner)
+            if sched._tracer is not None:
+                sched._tracer.on_select(g, i, ch, "send", partner)
             sched.apply_wakeups(wakeups)
             sched.resume(g, (i, None, True))
         else:
@@ -137,14 +163,14 @@ def _exec_select(sched, g, instr: ins.Select) -> None:
             partner = wakeups[0].sudog.g.goid if wakeups else 0
             if ok:
                 ch.note_transfer(partner, g.goid)
-            if sched.tracer is not None:
-                sched.tracer.on_select(g, i, ch, "recv", partner)
+            if sched._tracer is not None:
+                sched._tracer.on_select(g, i, ch, "recv", partner)
             sched.apply_wakeups(wakeups)
             sched.resume(g, (i, value, ok))
         return
     if instr.default:
-        if sched.tracer is not None:
-            sched.tracer.on_select(g, ins.DEFAULT_CASE, None, "default")
+        if sched._tracer is not None:
+            sched._tracer.on_select(g, ins.DEFAULT_CASE, None, "default")
         sched.resume(g, (ins.DEFAULT_CASE, None, False))
         return
     real_channels = tuple(
@@ -233,8 +259,8 @@ def _exec_lock(sched, g, instr: ins.Lock) -> None:
     target = instr.target
     if isinstance(target, RWMutex):
         if target.try_lock():
-            if sched.tracer is not None:
-                sched.tracer.on_sema("sema-acquire", g, target)
+            if sched._tracer is not None:
+                sched._tracer.on_sema(ev.SEMA_ACQUIRE, g, target)
             sched.resume(g, None)
             return
         target.writers_waiting += 1
@@ -245,8 +271,8 @@ def _exec_lock(sched, g, instr: ins.Lock) -> None:
     if not isinstance(target, Mutex):
         raise InvalidInstruction(f"Lock target is not a mutex: {target!r}")
     if target.try_lock():
-        if sched.tracer is not None:
-            sched.tracer.on_sema("sema-acquire", g, target)
+        if sched._tracer is not None:
+            sched._tracer.on_sema(ev.SEMA_ACQUIRE, g, target)
         sched.resume(g, None)
         return
     sched.semtable.enqueue(sched.mask_key(target.sema_key()), g)
@@ -258,15 +284,15 @@ def _exec_unlock(sched, g, instr: ins.Unlock) -> None:
     if isinstance(target, RWMutex):
         target.unlock()  # may panic
         _wake_rw_readers_or_writer(sched, target)
-        if sched.tracer is not None:
-            sched.tracer.on_sema("sema-release", g, target)
+        if sched._tracer is not None:
+            sched._tracer.on_sema(ev.SEMA_RELEASE, g, target)
         sched.resume(g, None)
         return
     if not isinstance(target, Mutex):
         raise InvalidInstruction(f"Unlock target is not a mutex: {target!r}")
     _unlock_mutex(sched, target)
-    if sched.tracer is not None:
-        sched.tracer.on_sema("sema-release", g, target)
+    if sched._tracer is not None:
+        sched._tracer.on_sema(ev.SEMA_RELEASE, g, target)
     sched.resume(g, None)
 
 
@@ -296,8 +322,8 @@ def _exec_rlock(sched, g, instr: ins.RLock) -> None:
     if not isinstance(rw, RWMutex):
         raise InvalidInstruction(f"RLock target is not a RWMutex: {rw!r}")
     if rw.try_rlock():
-        if sched.tracer is not None:
-            sched.tracer.on_sema("sema-acquire", g, rw)
+        if sched._tracer is not None:
+            sched._tracer.on_sema(ev.SEMA_ACQUIRE, g, rw)
         sched.resume(g, None)
         return
     sched.semtable.enqueue(sched.mask_key(rw.reader_sema_key()), g)
@@ -396,8 +422,8 @@ def _exec_sem_acquire(sched, g, instr: ins.SemAcquire) -> None:
         raise InvalidInstruction(f"not a semaphore: {sema!r}")
     if sema.count > 0:
         sema.count -= 1
-        if sched.tracer is not None:
-            sched.tracer.on_sema("sema-acquire", g, sema)
+        if sched._tracer is not None:
+            sched._tracer.on_sema(ev.SEMA_ACQUIRE, g, sema)
         sched.resume(g, None)
         return
     sched.semtable.enqueue(sched.mask_key(sema.addr), g)
@@ -411,8 +437,8 @@ def _exec_sem_release(sched, g, instr: ins.SemRelease) -> None:
         sched.wake(waiter, result=None)
     else:
         sema.count += 1
-    if sched.tracer is not None:
-        sched.tracer.on_sema("sema-release", g, sema)
+    if sched._tracer is not None:
+        sched._tracer.on_sema(ev.SEMA_RELEASE, g, sema)
     sched.resume(g, None)
 
 
@@ -538,3 +564,12 @@ _HANDLERS = {
     ins.Recover: _exec_recover,
     ins.Defer: _exec_defer,
 }
+
+# The flattened dispatch table, indexed by ``cls.OP``.  ``_OP_CLASS``
+# mirrors it with the class each slot expects, making the hot-path check
+# a single list index plus identity comparison.
+_OP_CLASS: List[type] = list(ins.OPCODE_ORDER)
+_DISPATCH = [_HANDLERS[cls] for cls in ins.OPCODE_ORDER]
+
+assert len(_HANDLERS) == len(_DISPATCH), \
+    "every handler must appear in the opcode table exactly once"

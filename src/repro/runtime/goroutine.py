@@ -92,6 +92,7 @@ class Goroutine(HeapObject):
         "masked", "reported", "blocking_sema", "is_system", "is_daemon",
         "spawned", "finished_value", "deadlock_label",
         "panicking", "defers", "fn_name",
+        "wait_seq", "_class_seq", "_class_val",
     )
 
     kind = "goroutine"
@@ -143,6 +144,17 @@ class Goroutine(HeapObject):
         #: Creation-site function name (the body function of the ``go``
         #: statement); feeds :attr:`trace_label`.
         self.fn_name: str = ""
+        #: Wait-state epoch: bumped at every transition that can change
+        #: the detector's classification of this goroutine (park, wake,
+        #: relock, bind, finish, forced reclaim, report verdicts).  The
+        #: detector memoizes its candidate/proof-skip/neither verdict
+        #: against this counter, so daemon-cadence re-checks reclassify
+        #: only goroutines whose wait state actually changed.
+        self.wait_seq = 0
+        #: ``wait_seq`` value the cached classification was computed at.
+        self._class_seq = -1
+        #: Cached classification (see ``repro.core.detector.classify``).
+        self._class_val = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -155,6 +167,7 @@ class Goroutine(HeapObject):
         self.fn_name = fn_name
         if name:
             self.name = name
+        self.wait_seq += 1
         self.status = GStatus.RUNNABLE
         self.wait_reason = None
         self.blocked_on = ()
@@ -174,6 +187,7 @@ class Goroutine(HeapObject):
     def finish(self) -> None:
         """Regular termination: reached the end of the body."""
         self.gen = None
+        self.wait_seq += 1
         self.status = GStatus.DEAD
         self.wait_reason = None
         self.blocked_on = ()
@@ -209,6 +223,7 @@ class Goroutine(HeapObject):
         self.masked = False
         self.blocking_sema = None
         self.gen = None
+        self.wait_seq += 1
         self.status = GStatus.DEAD
         self.stack_bytes = 0
         self.panicking = None

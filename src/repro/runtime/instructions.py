@@ -76,6 +76,14 @@ class Instruction:
     #: Stable lowercase identifier; never derived from the class name.
     MNEMONIC = "instruction"
 
+    #: Interned opcode: a dense int assigned per concrete class at module
+    #: load (see :data:`OPCODE_ORDER`).  ``-1`` marks classes outside the
+    #: built-in set — including user subclasses of concrete instructions,
+    #: which inherit the parent's OP but fail the executor's exact-class
+    #: check and fall back to the slow path, preserving the historical
+    #: exact-type dispatch semantics.
+    OP = -1
+
     def heap_refs(self) -> Tuple[HeapObject, ...]:
         """Heap objects referenced by this instruction's operands.
 
@@ -284,21 +292,25 @@ class _OneOperand(Instruction):
 
 class Lock(_OneOperand):
     """``m.Lock()`` — blocks while the mutex is held."""
+    __slots__ = ()
     MNEMONIC = "lock"
 
 
 class Unlock(_OneOperand):
     """``m.Unlock()`` — panics if the mutex is not held."""
+    __slots__ = ()
     MNEMONIC = "unlock"
 
 
 class RLock(_OneOperand):
     """``m.RLock()`` on a RWMutex."""
+    __slots__ = ()
     MNEMONIC = "rlock"
 
 
 class RUnlock(_OneOperand):
     """``m.RUnlock()`` on a RWMutex."""
+    __slots__ = ()
     MNEMONIC = "runlock"
 
 
@@ -318,27 +330,32 @@ class WgAdd(Instruction):
 
 class WgDone(_OneOperand):
     """``wg.Done()``."""
+    __slots__ = ()
     MNEMONIC = "wg-done"
 
 
 class WgWait(_OneOperand):
     """``wg.Wait()`` — blocks until the counter reaches zero."""
+    __slots__ = ()
     MNEMONIC = "wg-wait"
 
 
 class CondWait(_OneOperand):
     """``c.Wait()`` — atomically releases the locker and blocks; on wake,
     reacquires the locker before resuming."""
+    __slots__ = ()
     MNEMONIC = "cond-wait"
 
 
 class CondSignal(_OneOperand):
     """``c.Signal()`` — wakes one waiter if any."""
+    __slots__ = ()
     MNEMONIC = "cond-signal"
 
 
 class CondBroadcast(_OneOperand):
     """``c.Broadcast()`` — wakes all waiters."""
+    __slots__ = ()
     MNEMONIC = "cond-broadcast"
 
 
@@ -358,11 +375,13 @@ class OnceDo(Instruction):
 
 class SemAcquire(_OneOperand):
     """Low-level semaphore acquire (blocks while the count is zero)."""
+    __slots__ = ()
     MNEMONIC = "sem-acquire"
 
 
 class SemRelease(_OneOperand):
     """Low-level semaphore release (wakes one waiter, if any)."""
+    __slots__ = ()
     MNEMONIC = "sem-release"
 
 
@@ -606,3 +625,36 @@ def mnemonic_for(class_name: str) -> Optional[str]:
     """The stable mnemonic for an instruction class name, or ``None``."""
     cls = instruction_classes().get(class_name)
     return cls.MNEMONIC if cls is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Interned opcodes
+# ---------------------------------------------------------------------------
+
+#: Every concrete instruction class in opcode order.  The executor's
+#: dispatch table and the scheduler's cost model index by ``cls.OP``
+#: (list index + identity check) instead of hashing types or walking
+#: isinstance chains on every yield.  Append-only: opcode values are
+#: positional, so inserting in the middle would silently renumber.
+OPCODE_ORDER: Tuple[Type[Instruction], ...] = (
+    MakeChan, Send, Recv, Close, Select,
+    NewMutex, NewRWMutex, NewWaitGroup, NewCond, NewOnce, NewSema,
+    Lock, Unlock, RLock, RUnlock,
+    WgAdd, WgDone, WgWait,
+    CondWait, CondSignal, CondBroadcast,
+    OnceDo, SemAcquire, SemRelease,
+    Go, Sleep, IoWait, Gosched, Work,
+    Alloc, SetFinalizer, RunGC, Now,
+    SetGlobal, GetGlobal, Panic, Recover, Defer,
+)
+
+for _op, _cls in enumerate(OPCODE_ORDER):
+    _cls.OP = _op
+del _op, _cls
+
+OP_COUNT = len(OPCODE_ORDER)
+
+#: Opcodes the scheduler's cost model special-cases (no RNG jitter).
+OP_WORK = Work.OP
+OP_SLEEP = Sleep.OP
+OP_RUN_GC = RunGC.OP

@@ -30,8 +30,13 @@ from repro.errors import (
 from repro.runtime import executor
 from repro.runtime.channel import Wakeup
 from repro.runtime.clock import Clock
-from repro.runtime.goroutine import GStatus, Goroutine
-from repro.runtime.instructions import Instruction, RunGC, Sleep, Work
+from repro.runtime.goroutine import GStatus, Goroutine, Sudog
+from repro.runtime.instructions import (
+    OP_RUN_GC,
+    OP_SLEEP,
+    OP_WORK,
+    Instruction,
+)
 from repro.runtime.objects import HeapObject
 from repro.runtime.sema import SemaTable
 from repro.runtime.sync import Mutex
@@ -41,6 +46,8 @@ from repro.gc.heap import Heap
 
 class RunStatus:
     """Terminal states of :meth:`Scheduler.run`."""
+
+    __slots__ = ()
 
     MAIN_EXITED = "main-exited"
     TIMEOUT = "timeout"
@@ -129,18 +136,25 @@ class Scheduler:
         self.alloc_hook: Callable[[], None] = lambda: None
         #: Address-masking policy (identity unless GOLF installs one).
         self.mask_key: Callable[[int], int] = lambda addr: addr
-        #: Optional event tracer (see repro.runtime.tracing).
-        self.tracer = None
+        #: Optional event tracer (see repro.runtime.tracing).  Stored
+        #: privately; the public name is a property whose setter
+        #: recomputes :attr:`_observed` — hot paths read ``_tracer``
+        #: directly and guard whole instrumentation blocks on the single
+        #: precomputed ``_observed`` flag.
+        self._tracer = None
         #: Optional static-proof registry (see repro.staticcheck.proofs).
         #: When installed, make_chan tags channels whose (make-site,
         #: capacity) carries a leak-freedom certificate; the detector
         #: skips sudog scans for goroutines blocked only on tagged
         #: channels.  None = proofs off (no channel ever tagged).
         self.proof_registry = None
-        #: Optional telemetry hub (see repro.telemetry).  Every
-        #: instrumentation site guards on ``is not None`` so the
-        #: disabled path costs one attribute check.
-        self.telemetry = None
+        #: Optional telemetry hub (see repro.telemetry); private storage
+        #: behind the ``telemetry`` property, like ``_tracer``.
+        self._telemetry = None
+        #: Fast-path flag: True iff a tracer or telemetry hub is
+        #: attached.  Park/wake/spawn/finish check this one flag instead
+        #: of two hook attributes each.
+        self._observed = False
         #: Optional select-case policy override (see repro.fuzz): called
         #: with the list of ready case indices, returns the chosen one.
         self.select_policy: Optional[Callable[[List[int]], int]] = None
@@ -150,9 +164,20 @@ class Scheduler:
         #: runtime (forced GC, clock jitter, panics into other
         #: goroutines) and may return an exception to deliver to the
         #: executing goroutine *instead of* running the instruction.
-        self.fault_hook: Optional[
+        #: Private storage behind the ``fault_hook`` property.
+        self._fault_hook: Optional[
             Callable[[Goroutine, Instruction], Optional[BaseException]]
         ] = None
+        #: Free pool of recycled non-select sudogs (Go's sudog cache).
+        #: Only sudogs retired through :meth:`apply_wakeups` — already
+        #: dequeued from every channel queue and detached from their
+        #: goroutine by ``wake`` — are pooled; select sudogs never are
+        #: (inactive siblings may linger in other channels' queues).
+        self.sudog_cache: List[Sudog] = []
+        #: The instruction interpreter applied at completion.  Tests swap
+        #: in ``executor.execute_legacy`` to differentially check the
+        #: flattened dispatch table against the original interpreter.
+        self._execute = executor.execute
         #: Incremental GC hooks (wired only under --gc-mode incremental).
         #: ``gc_step_hook`` advances the in-flight cycle by one bounded
         #: work budget between time slices, returning True while a cycle
@@ -163,6 +188,72 @@ class Scheduler:
         self.gc_step_hook: Optional[Callable[[], bool]] = None
         self.gc_request_hook: Optional[Callable[[Goroutine], bool]] = None
         self.gc_wake_hook: Optional[Callable[[Goroutine], None]] = None
+
+    # ------------------------------------------------------------------
+    # Observability hooks (fast-path flag kept in sync by the setters)
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+        self._observed = value is not None or self._telemetry is not None
+
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, value) -> None:
+        self._telemetry = value
+        self._observed = value is not None or self._tracer is not None
+
+    @property
+    def fault_hook(self):
+        return self._fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, value) -> None:
+        self._fault_hook = value
+
+    # ------------------------------------------------------------------
+    # Sudog free pool
+    # ------------------------------------------------------------------
+
+    #: Pool size cap; beyond this, retired sudogs go to the allocator.
+    SUDOG_CACHE_LIMIT = 64
+
+    def acquire_sudog(self, g: Goroutine, channel: Any, value: Any,
+                      is_send: bool) -> Sudog:
+        """A non-select sudog, recycled from the free pool if possible."""
+        cache = self.sudog_cache
+        if cache:
+            sd = cache.pop()
+            sd.g = g
+            sd.channel = channel
+            sd.value = value
+            sd.is_send = is_send
+            sd.active = True
+            return sd
+        return Sudog(g, channel, value, is_send=is_send)
+
+    def release_sudog(self, sd: Sudog) -> None:
+        """Return a retired non-select sudog to the free pool.
+
+        Callers must guarantee no channel queue or goroutine still
+        references it — true exactly for sudogs whose wakeup was just
+        applied (the channel dequeued them before creating the
+        :class:`Wakeup`, and ``wake`` cleared the owner's list).
+        """
+        cache = self.sudog_cache
+        if len(cache) < self.SUDOG_CACHE_LIMIT:
+            sd.g = None
+            sd.channel = None
+            sd.value = None
+            cache.append(sd)
 
     # ------------------------------------------------------------------
     # Spawning
@@ -220,10 +311,11 @@ class Scheduler:
         self.runq.append(g)
         if self.main_g is None and not system:
             self.main_g = g
-        if self.tracer is not None:
-            self.tracer.on_create(g)
-        if self.telemetry is not None:
-            self.telemetry.on_spawn(g)
+        if self._observed:
+            if self._tracer is not None:
+                self._tracer.on_create(g)
+            if self._telemetry is not None:
+                self._telemetry.on_spawn(g)
         return g
 
     # ------------------------------------------------------------------
@@ -234,16 +326,18 @@ class Scheduler:
              blocked_on: Tuple[HeapObject, ...],
              blocking_sema: Optional[HeapObject] = None) -> None:
         """Transition ``g`` to WAITING with ``B(g) = blocked_on``."""
+        g.wait_seq += 1
         g.status = GStatus.WAITING
         g.wait_reason = reason
         g.blocked_on = blocked_on
         g.blocking_sema = blocking_sema
         if g.is_daemon:
             return
-        if self.tracer is not None:
-            self.tracer.on_park(g, reason)
-        if self.telemetry is not None:
-            self.telemetry.on_park(g, reason)
+        if self._observed:
+            if self._tracer is not None:
+                self._tracer.on_park(g, reason)
+            if self._telemetry is not None:
+                self._telemetry.on_park(g, reason)
 
     def park_on_timer(self, g: Goroutine, wake_at: int,
                       reason: WaitReason = WaitReason.SLEEP) -> None:
@@ -283,6 +377,7 @@ class Scheduler:
         for sd in g.sudogs:
             sd.active = False
         g.sudogs = []
+        g.wait_seq += 1
         g.blocked_on = ()
         g.wait_reason = None
         g.blocking_sema = None
@@ -294,10 +389,11 @@ class Scheduler:
             self.daemon_runq.append(g)
             return
         self.runq.append(g)
-        if self.tracer is not None:
-            self.tracer.on_wake(g)
-        if self.telemetry is not None:
-            self.telemetry.on_wake(g)
+        if self._observed:
+            if self._tracer is not None:
+                self._tracer.on_wake(g)
+            if self._telemetry is not None:
+                self._telemetry.on_wake(g)
 
     def apply_wakeups(self, wakeups: List[Wakeup]) -> None:
         """Resume the goroutines behind channel wakeup records.
@@ -313,6 +409,10 @@ class Scheduler:
             g = sd.g
             if sd.select_index is None:
                 self.wake(g, result=w.result, exc=w.exc)
+                # The channel dequeued this sudog before creating the
+                # wakeup and wake() just detached it from its goroutine:
+                # nothing references it any more, so it can be pooled.
+                self.release_sudog(sd)
                 continue
             if w.exc is not None:
                 self.wake(g, exc=w.exc)
@@ -334,6 +434,7 @@ class Scheduler:
         if locker.try_lock():
             self.wake(g, result=None)
             return
+        g.wait_seq += 1
         g.wait_reason = WaitReason.SYNC_MUTEX_LOCK
         g.blocked_on = (locker,)
         g.blocking_sema = locker
@@ -358,10 +459,11 @@ class Scheduler:
             # never traced.
             return
         self.gfree.append(g)
-        if self.tracer is not None:
-            self.tracer.on_finish(g)
-        if self.telemetry is not None:
-            self.telemetry.on_finish(g)
+        if self._observed:
+            if self._tracer is not None:
+                self._tracer.on_finish(g)
+            if self._telemetry is not None:
+                self._telemetry.on_finish(g)
         if g is self.main_g:
             self._main_exited = True
 
@@ -530,7 +632,20 @@ class Scheduler:
         Returns one of the :class:`RunStatus` values.  Panics escaping a
         goroutine crash the whole program and re-raise here, as Go's
         fatal panic does.
+
+        The loop body is the runtime's hottest code: helper calls are
+        guarded by inline emptiness checks, the busy-processor scan
+        avoids building snapshot lists (a processor is busy iff
+        ``p.g is not None``, and nothing inside a completion can make an
+        idle processor busy — dispatch only happens at the loop top), and
+        shared structures are bound to locals once per call.
         """
+        procs = self.procs
+        timers = self._timers
+        daemon_timers = self._daemon_timers
+        clock = self.clock
+        dp = self.daemon_proc
+        gc_step_hook = self.gc_step_hook
         while True:
             if self.crashed is not None:
                 _, exc = self.crashed
@@ -541,13 +656,25 @@ class Scheduler:
                     and self.instructions_executed >= max_instructions):
                 return RunStatus.INSTRUCTION_LIMIT
 
-            self._wake_due_timers()
-            self._dispatch_idle_procs()
-            if self.crashed is not None or self._main_exited:
-                continue  # re-run the terminal checks at the loop top
+            now = clock.now
+            if ((timers and timers[0][0] <= now)
+                    or (daemon_timers and daemon_timers[0][0] <= now)):
+                self._wake_due_timers()
+            if self.runq or self.daemon_runq:
+                self._dispatch_idle_procs()
+                if self.crashed is not None or self._main_exited:
+                    continue  # re-run the terminal checks at the loop top
 
-            busy = [p for p in self.procs if not p.idle]
-            if not busy:
+            # Earliest mutator completion, without a snapshot list.
+            t_user: Optional[int] = None
+            any_busy = False
+            for p in procs:
+                if p.g is not None:
+                    any_busy = True
+                    bu = p.busy_until
+                    if t_user is None or bu < t_user:
+                        t_user = bu
+            if not any_busy:
                 # No mutator is running: drive any in-flight GC cycle at
                 # the *current* clock before jumping time or declaring
                 # deadlock — goroutines parked in runtime.GC (GC_WAIT)
@@ -555,44 +682,43 @@ class Scheduler:
                 # daemon events are considered, so incremental cycles
                 # complete at the same virtual times with or without a
                 # detection daemon installed.
-                if self.gc_step_hook is not None and self.gc_step_hook():
+                if gc_step_hook is not None and gc_step_hook():
                     continue
 
-            daemon_busy = not self.daemon_proc.idle
-            if busy or daemon_busy:
+            daemon_busy = dp.g is not None
+            if any_busy or daemon_busy:
                 # The next *user-relevant* event: a mutator instruction
                 # completing or a user timer firing.  GC stepping is tied
                 # to these ticks only; daemon events advance the clock
                 # between them but never step the collector, keeping the
                 # incremental phase machine byte-identical daemon on/off.
-                t_user: Optional[int] = min(
-                    (p.busy_until for p in busy), default=None)
-                if self._timers and (t_user is None
-                                     or self._timers[0][0] < t_user):
-                    t_user = self._timers[0][0]
+                if timers and (t_user is None or timers[0][0] < t_user):
+                    t_user = timers[0][0]
                 t_next = t_user
                 if daemon_busy and (t_next is None
-                                    or self.daemon_proc.busy_until < t_next):
-                    t_next = self.daemon_proc.busy_until
-                if self._daemon_timers and (
-                        t_next is None or self._daemon_timers[0][0] < t_next):
-                    t_next = self._daemon_timers[0][0]
+                                    or dp.busy_until < t_next):
+                    t_next = dp.busy_until
+                if daemon_timers and (
+                        t_next is None or daemon_timers[0][0] < t_next):
+                    t_next = daemon_timers[0][0]
                 assert t_next is not None
                 if until_ns is not None and t_next > until_ns:
-                    self.clock.advance_to(until_ns)
+                    clock.advance_to(until_ns)
                     return RunStatus.TIMEOUT
-                self.clock.advance_to(t_next)
-                for p in busy:
-                    if p.busy_until <= self.clock.now:
+                clock.advance_to(t_next)
+                # Busy/idle and the clock are re-read per processor: a
+                # completion may stall others (fault-forced GC) or jitter
+                # the clock, and both must be seen at visit time.
+                for p in procs:
+                    if p.g is not None and p.busy_until <= clock.now:
                         self._complete(p)
-                if (daemon_busy
-                        and self.daemon_proc.busy_until <= self.clock.now):
-                    self._complete(self.daemon_proc)
-                if (busy and self.gc_step_hook is not None
+                if dp.g is not None and dp.busy_until <= clock.now:
+                    self._complete(dp)
+                if (any_busy and gc_step_hook is not None
                         and t_next == t_user):
                     # Incremental GC: one bounded mark/sweep budget per
                     # scheduler tick, interleaved with mutator progress.
-                    self.gc_step_hook()
+                    gc_step_hook()
                 continue
 
             # Either jump to the next timer — daemon timers keep the loop
@@ -657,22 +783,24 @@ class Scheduler:
         # Daemon dispatch first, FIFO, no RNG draw: the user schedule is
         # byte-identical whether or not a daemon is installed.
         dp = self.daemon_proc
-        while dp.idle and self.daemon_runq and self.crashed is None:
-            self._start_instruction(dp, self.daemon_runq.pop(0))
+        daemon_runq = self.daemon_runq
+        while dp.g is None and daemon_runq and self.crashed is None:
+            self._start_instruction(dp, daemon_runq.pop(0))
+        runq = self.runq
+        randrange = self.rng.randrange
         for p in self.procs:
             # A dispatched goroutine may finish (or crash) instantly
             # without occupying the processor; keep pulling runnable
             # goroutines until the processor is genuinely busy, so an
             # idle processor always implies an empty run queue.
-            while p.idle and self.runq and self.crashed is None:
-                idx = self.rng.randrange(len(self.runq))
-                self.runq[idx], self.runq[-1] = self.runq[-1], self.runq[idx]
-                g = self.runq.pop()
-                self._start_instruction(p, g)
+            while p.g is None and runq and self.crashed is None:
+                idx = randrange(len(runq))
+                runq[idx], runq[-1] = runq[-1], runq[idx]
+                self._start_instruction(p, runq.pop())
 
     def _start_instruction(self, p: _Proc, g: Goroutine) -> None:
-        if self.telemetry is not None and not g.is_daemon:
-            self.telemetry.on_context_switch(len(self.runq))
+        if self._telemetry is not None and not g.is_daemon:
+            self._telemetry.on_context_switch(len(self.runq))
         g.status = GStatus.RUNNING
         exc, g.pending_exc = g.pending_exc, None
         value, g.pending_value = g.pending_value, None
@@ -727,16 +855,28 @@ class Scheduler:
             # show up in the workload's CPU metrics.
             cost = self.base_cost_ns
         else:
-            cost = self._cost(instr)
+            # Inlined _cost: opcode compares instead of isinstance
+            # chains.  Subclasses inherit the parent's OP, matching the
+            # historical isinstance semantics exactly (same RNG draws).
+            op = instr.OP
+            if op == OP_WORK:
+                cost = instr.units * 1_000  # units are microseconds
+            elif op == OP_SLEEP or op == OP_RUN_GC:
+                cost = self.base_cost_ns
+            else:
+                cost = int(self.base_cost_ns * self.rng.uniform(0.75, 1.25))
+                if cost < 1:
+                    cost = 1
             self.cpu_busy_ns += cost
         p.busy_until = self.clock.now + cost
-        if self.tracer is not None:
-            self.tracer.on_instr(p.pid, g, instr.MNEMONIC, cost)
+        if self._tracer is not None:
+            self._tracer.on_instr(p.pid, g, instr.MNEMONIC, cost)
 
     def _cost(self, instr: Instruction) -> int:
-        if isinstance(instr, Work):
+        op = instr.OP
+        if op == OP_WORK:
             return instr.units * 1_000  # units are microseconds
-        if isinstance(instr, (Sleep, RunGC)):
+        if op == OP_SLEEP or op == OP_RUN_GC:
             return self.base_cost_ns
         jitter = self.rng.uniform(0.75, 1.25)
         return max(1, int(self.base_cost_ns * jitter))
@@ -746,19 +886,20 @@ class Scheduler:
         assert g is not None and instr is not None
         if not g.is_daemon:
             self.instructions_executed += 1
-        if self.fault_hook is not None and not g.is_daemon:
-            # The proc still holds the instruction while the hook runs,
-            # so a fault-forced GC sees its operands as in-flight roots.
-            injected = self.fault_hook(g, instr)
-            if injected is not None:
-                p.g = None
-                p.instr = None
-                self.resume(g, exc=injected)
-                return
+            if self._fault_hook is not None:
+                # The proc still holds the instruction while the hook
+                # runs, so a fault-forced GC sees its operands as
+                # in-flight roots.
+                injected = self._fault_hook(g, instr)
+                if injected is not None:
+                    p.g = None
+                    p.instr = None
+                    self.resume(g, exc=injected)
+                    return
         p.g = None
         p.instr = None
         try:
-            executor.execute(self, g, instr)
+            self._execute(self, g, instr)
         except GoPanic as panic:
             # Synchronous panics (close of closed channel, negative
             # WaitGroup...) unwind through the goroutine body so its

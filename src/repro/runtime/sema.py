@@ -55,6 +55,8 @@ class SemaTable:
     whatever key form the masking policy dictates.
     """
 
+    __slots__ = ("_rng", "_root", "_size", "_found", "tracer")
+
     def __init__(self, rng: Optional[random.Random] = None):
         self._rng = rng or random.Random(0)
         self._root: Optional[_TreapNode] = None

@@ -24,6 +24,7 @@ import weakref
 from typing import Dict, List, Optional
 
 from repro.telemetry import recorder as rec
+from repro.trace import events as ev
 from repro.telemetry.metrics import (
     DURATION_BUCKETS_NS,
     MetricsRegistry,
@@ -335,12 +336,12 @@ class TelemetryHub:
             child = self.parks.labels(key)
             self._park_children[key] = child
         child.inc()
-        self.recorder.record("sched", "go-park", g.goid, key,
+        self.recorder.record("sched", ev.GO_PARK, g.goid, key,
                              severity=rec.DEBUG)
 
     def on_wake(self, g) -> None:
         self.wakes.inc()
-        self.recorder.record("sched", "go-wake", g.goid,
+        self.recorder.record("sched", ev.GO_WAKE, g.goid,
                              severity=rec.DEBUG)
 
     def on_finish(self, g) -> None:
@@ -350,7 +351,7 @@ class TelemetryHub:
 
     def on_goroutine_panic(self, goid: int, message: str) -> None:
         self.goroutine_panics.inc()
-        self.recorder.record("sched", "go-panic", goid, message,
+        self.recorder.record("sched", ev.GO_PANIC, goid, message,
                              severity=rec.ERROR)
         self.recorder.incident("goroutine-panic", f"g{goid}: {message}")
 
@@ -365,7 +366,7 @@ class TelemetryHub:
     def on_gc_phase(self, phase: str, cycle: int) -> None:
         """Incremental collector entered ``phase`` (cold: a few per cycle)."""
         self.gc_phase_transitions.labels(phase).inc()
-        self.recorder.record("gc", "gc-phase", 0, f"#{cycle} {phase}",
+        self.recorder.record("gc", ev.GC_PHASE, 0, f"#{cycle} {phase}",
                              severity=rec.DEBUG)
 
     def on_gc_cycle(self, cs, sched, heap) -> None:
@@ -396,7 +397,7 @@ class TelemetryHub:
         self.live_goroutines.set(len(sched.live_goroutines()))
         self.blocked_goroutines.set(len(sched.blocked_goroutines()))
         self.recorder.record(
-            "gc", "gc-cycle", 0,
+            "gc", ev.GC_CYCLE, 0,
             f"#{cs.cycle} {cs.mode}({cs.reason}) "
             f"iters={cs.mark_iterations} work={cs.mark_work_units} "
             f"swept={cs.swept_bytes}B pause={cs.pause_ns}ns "
@@ -416,7 +417,7 @@ class TelemetryHub:
             self.leaks_kept.labels(site).inc()
         record, _ = self.fingerprints.observe(report)
         self.recorder.record(
-            "detector", "partial-deadlock", report.goid,
+            "detector", ev.DEADLOCK, report.goid,
             f"[{report.wait_reason}] at {normalize_site(report.block_site)}",
             severity=rec.WARN)
         self.recorder.incident(
@@ -431,7 +432,7 @@ class TelemetryHub:
             f"{normalize_site(g.go_site)} -> "
             f"{normalize_site(g.block_site())}")
         self.leaks_reclaimed.labels(site).inc()
-        self.recorder.record("detector", "go-reclaim", g.goid, site)
+        self.recorder.record("detector", ev.GO_RECLAIM, g.goid, site)
 
     # -- daemon / recovery callbacks -----------------------------------------
 

@@ -14,6 +14,7 @@ Timestamps come exclusively from the virtual clock, so at a fixed
 
 from __future__ import annotations
 
+import sys
 from typing import Any, Dict, Optional
 
 # -- goroutine lifecycle -----------------------------------------------------
@@ -47,15 +48,27 @@ BARRIER_SHADE = "barrier-shade"
 DEADLOCK = "partial-deadlock"
 FAULT_INJECT = "fault-inject"
 
+#: Every kind constant above, by module attribute name.
+_KIND_NAMES = (
+    "GO_CREATE", "GO_PARK", "GO_WAKE", "GO_END", "GO_RECLAIM", "GO_PANIC",
+    "INSTR",
+    "CHAN_MAKE", "CHAN_SEND", "CHAN_RECV", "CHAN_CLOSE", "SELECT_RESOLVE",
+    "SEMA_ACQUIRE", "SEMA_RELEASE",
+    "GC_PHASE", "GC_CYCLE", "BARRIER_SHADE",
+    "DEADLOCK", "FAULT_INJECT",
+)
+
+# Intern the vocabulary at module load.  Hyphenated literals are not
+# auto-interned by CPython; event kinds are dict keys and comparison
+# operands on every tracer emit, so pin one shared object per kind and
+# make those operations pointer-fast.  Instrumentation sites must pass
+# these constants, never fresh literals.
+for _name in _KIND_NAMES:
+    globals()[_name] = sys.intern(globals()[_name])
+del _name
+
 #: The complete, fixed event vocabulary.
-VOCABULARY = frozenset({
-    GO_CREATE, GO_PARK, GO_WAKE, GO_END, GO_RECLAIM, GO_PANIC,
-    INSTR,
-    CHAN_MAKE, CHAN_SEND, CHAN_RECV, CHAN_CLOSE, SELECT_RESOLVE,
-    SEMA_ACQUIRE, SEMA_RELEASE,
-    GC_PHASE, GC_CYCLE, BARRIER_SHADE,
-    DEADLOCK, FAULT_INJECT,
-})
+VOCABULARY = frozenset(globals()[name] for name in _KIND_NAMES)
 
 
 class TraceEvent:

@@ -217,3 +217,40 @@ class TestTracing:
 
     def test_tracing_off_by_default(self, rt):
         assert rt.tracer is None
+
+
+class TestEventKindInterning:
+    """The event vocabulary is interned at module load (hot-path
+    overhaul): one shared object per kind, so tracer emits and kind
+    filters compare by pointer."""
+
+    def test_vocabulary_is_interned(self):
+        import sys
+
+        from repro.trace import events as ev
+
+        for name in ev._KIND_NAMES:
+            kind = getattr(ev, name)
+            assert sys.intern(kind) is kind, name
+        assert ev.VOCABULARY == frozenset(
+            getattr(ev, name) for name in ev._KIND_NAMES)
+
+    def test_emitted_kinds_are_the_shared_constants(self):
+        from repro.trace import events as ev
+
+        rt = Runtime(procs=1, seed=5)
+        tracer = rt.enable_tracing()
+
+        def main():
+            ch = yield MakeChan(1)
+            yield Send(ch, 1)
+            yield Recv(ch)
+
+        rt.spawn_main(main)
+        rt.run()
+        kinds = {e.kind for e in tracer.events}
+        assert ev.CHAN_SEND in kinds and ev.CHAN_RECV in kinds
+        for e in tracer.events:
+            # identity, not equality: instrumentation sites must pass
+            # the interned constants, never fresh literals
+            assert any(e.kind is k for k in ev.VOCABULARY), e.kind
