@@ -45,7 +45,7 @@ class ScheduleResult:
                  "panic", "yield_points", "injected", "rejected",
                  "injected_by_kind", "trace", "violations",
                  "soundness_errors", "global_deadlock", "reports",
-                 "reclaimed", "goroutine_panics", "idempotent")
+                 "reclaimed", "goroutine_panics", "idempotent", "alerts")
 
     def __init__(self, benchmark: str, procs: int, seed: int,
                  scenario: str):
@@ -67,6 +67,9 @@ class ScheduleResult:
         self.reclaimed = 0
         self.goroutine_panics = 0
         self.idempotent = True
+        #: Alert transitions observed by the telemetry hub's SLO rules
+        #: during this schedule (empty unless the hub scrapes a TSDB).
+        self.alerts: List[Dict[str, object]] = []
 
     @property
     def clean(self) -> bool:
@@ -93,6 +96,7 @@ class ScheduleResult:
             "reclaimed": self.reclaimed,
             "goroutine_panics": self.goroutine_panics,
             "idempotent": self.idempotent,
+            "alerts": list(self.alerts),
             "trace": list(self.trace),
         }
 
@@ -128,10 +132,20 @@ def run_chaos_schedule(
     result = ScheduleResult(bench.name, procs, seed, scenario)
     plan = FaultPlan(seed, spec)
     captured: List = []
+    scraping = telemetry is not None and telemetry.tsdb is not None
+    if scraping:
+        # Each schedule's runtime restarts the virtual clock at zero, so
+        # carrying series across schedules would interleave timelines;
+        # alert states likewise must not leak between runtimes.
+        telemetry.tsdb.clear()
+        telemetry.alerts.reset_states()
+    timeline_mark = len(telemetry.alerts.timeline) if scraping else 0
 
     def hook(rt) -> None:
         if telemetry is not None:
             telemetry.attach(rt)
+        if scraping:
+            rt.start_metrics_scrape(telemetry)
         captured.append(FaultInjector(rt, plan).install())
 
     bench_result = run_microbenchmark(
@@ -176,6 +190,14 @@ def run_chaos_schedule(
     result.reports = rt.reports.total()
     result.reclaimed = rt.collector.stats.total_goroutines_reclaimed
     result.goroutine_panics = len(rt.sched.goroutine_panics)
+    if scraping:
+        rt.stop_metrics_scrape()
+        # Final scrape so alert states see the post-quiescence values,
+        # then keep only this schedule's slice of the hub timeline —
+        # the campaign hub accumulates transitions across schedules.
+        telemetry.scrape_tick(rt.clock.now)
+        result.alerts = [dict(e)
+                         for e in telemetry.alerts.timeline[timeline_mark:]]
     rt.shutdown()
     return result
 

@@ -289,6 +289,55 @@ def _cmd_fleet(args) -> str:
     return text
 
 
+def _cmd_dash(args) -> str:
+    """Deterministic TSDB dashboard over a scraped fleet run.
+
+    Runs the sequential (oracle) fleet with per-shard metric scraping
+    on, renders the text dashboard, and writes the schema-versioned
+    JSON artifact (series rollup + alert timeline) — validated before
+    writing; two same-seed invocations produce byte-identical output.
+    Exits non-zero on a dirty run or a schema breach.
+    """
+    from repro.telemetry.dashboard import run_dash, validate_dash_artifact
+
+    if args.shards < 1:
+        raise SystemExit("dash: --shards must be at least 1")
+    if args.scrape_ms <= 0:
+        raise SystemExit("dash: --scrape-ms must be positive")
+    result = run_dash(
+        shards=args.shards, users=args.users, seed=args.seed,
+        workload=args.workload, policy=args.policy,
+        leak_rate=args.leak_rate, procs=args.procs,
+        daemon_ms=args.daemon_ms, scrape_ms=args.scrape_ms)
+    doc = result.to_dict()
+    failures = []
+    try:
+        counts = validate_dash_artifact(doc)
+    except ValueError as exc:
+        failures.append(f"artifact schema breach: {exc}")
+        counts = {}
+    artifact_dir = args.json_dir
+    os.makedirs(artifact_dir, exist_ok=True)
+    path = os.path.join(
+        artifact_dir, f"dash-n{args.shards}-s{args.seed}.json")
+    with open(path, "w") as fh:
+        fh.write(result.to_json())
+    if not result.clean:
+        failures.append("dirty run: " + "; ".join(result.fleet.problems))
+    text = "\n".join([
+        result.format().rstrip("\n"),
+        "",
+        f"artifact : {path} ({counts.get('series', 0)} series, "
+        f"{counts.get('alert_transitions', 0)} alert transition(s), "
+        f"{counts.get('rules', 0)} rule(s))",
+    ])
+    if failures:
+        raise SystemExit(text + "\n"
+                         + "\n".join(f"FAIL: {f}" for f in failures)
+                         + "\ndash run FAILED")
+    return text
+
+
 def _cmd_obs(args) -> str:
     from repro.telemetry import (
         DEBUG,
@@ -531,6 +580,7 @@ _COMMANDS: Dict[str, Callable] = {
     "chaos": _cmd_chaos,
     "daemon": _cmd_daemon,
     "fleet": _cmd_fleet,
+    "dash": _cmd_dash,
     "obs": _cmd_obs,
     "trace": _cmd_trace,
     "vet": _cmd_vet,
@@ -653,6 +703,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "ms); omitted = GC-cadence detection only")
     p.add_argument("--json-dir", default="benchmarks/out",
                    help="directory for the fleet JSON/.prom artifacts")
+
+    p = add("dash", help="deterministic TSDB dashboard + alert timeline "
+                         "over a scraped sequential fleet run")
+    p.add_argument("--shards", type=int, default=2,
+                   help="number of runtime shards (1 = single runtime)")
+    p.add_argument("--users", type=int, default=16,
+                   help="total users routed across the fleet")
+    p.add_argument("--workload", default="controlled",
+                   choices=["controlled", "production"],
+                   help="per-shard leak workload shape")
+    p.add_argument("--policy", default="hash", choices=["hash", "load"],
+                   help="user placement: id-hash or least-expected-load")
+    p.add_argument("--leak-rate", type=float, default=0.1,
+                   help="fraction of requests hitting the leaky path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--procs", type=int, default=2,
+                   help="virtual processors per shard")
+    p.add_argument("--daemon-ms", type=float, default=10.0,
+                   help="per-shard detection-daemon interval (virtual ms)")
+    p.add_argument("--scrape-ms", type=float, default=5.0,
+                   help="TSDB scrape cadence (virtual ms)")
+    p.add_argument("--json-dir", default="benchmarks/out",
+                   help="directory for the dash JSON artifact")
 
     p = add("vet", help="static partial-deadlock analysis over goroutine "
                         "bodies; exits non-zero per --fail-on")
@@ -783,12 +856,13 @@ def main(argv=None) -> int:
         # this hub (Runtime.__init__ auto-attaches the default hub).
         set_default_hub(hub)
     if args.command == "all":
-        # tester, chaos, daemon, fleet, obs, trace, vet, and gc-equiv
-        # have their own flags and fail semantics; they run as explicit
-        # subcommands only.
+        # tester, chaos, daemon, fleet, dash, obs, trace, vet, and
+        # gc-equiv have their own flags and fail semantics; they run as
+        # explicit subcommands only.
         commands = [c for c in _COMMANDS
                     if c not in ("tester", "chaos", "daemon", "fleet",
-                                 "obs", "trace", "vet", "gc-equiv")]
+                                 "dash", "obs", "trace", "vet",
+                                 "gc-equiv")]
     else:
         commands = [args.command]
     try:

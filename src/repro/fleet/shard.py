@@ -51,7 +51,8 @@ class ShardSpec:
                  procs: int = 2, step_ms: int = 50,
                  periodic_gc_ms: int = 20, handler_work_us: int = 100,
                  map_entries: int = 256, drain_ms: int = 50,
-                 daemon_interval_ms: Optional[float] = None):
+                 daemon_interval_ms: Optional[float] = None,
+                 scrape_interval_ms: Optional[float] = None):
         self.shard_id = shard_id
         self.fleet_seed = fleet_seed
         self.user_ids = list(user_ids)
@@ -63,6 +64,7 @@ class ShardSpec:
         self.map_entries = map_entries
         self.drain_ms = drain_ms
         self.daemon_interval_ms = daemon_interval_ms
+        self.scrape_interval_ms = scrape_interval_ms
 
     @property
     def shard_seed(self) -> int:
@@ -93,6 +95,10 @@ class ShardResult:
         self.memstats: Dict[str, float] = {}
         self.invariant_violations: List[str] = []
         self.daemon_checks = 0
+        #: TSDB dump + alert-engine dump, populated only when the spec
+        #: asked for scraping (None keeps pre-TSDB artifacts byte-equal).
+        self.tsdb: Optional[dict] = None
+        self.alerts: Optional[dict] = None
 
     @property
     def sustained_rps(self) -> float:
@@ -110,7 +116,7 @@ class ShardResult:
         return self.leaks_detected / (self.service_end_ns / SECOND)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "shard_id": self.shard_id,
             "users": self.users,
             "requests_completed": self.requests_completed,
@@ -125,6 +131,10 @@ class ShardResult:
             "memstats": dict(self.memstats),
             "invariant_violations": list(self.invariant_violations),
         }
+        if self.tsdb is not None:
+            out["tsdb"] = self.tsdb
+            out["alerts"] = self.alerts
+        return out
 
 
 class ShardRunner:
@@ -146,6 +156,16 @@ class ShardRunner:
         self.rt.enable_periodic_gc(spec.periodic_gc_ms * MILLISECOND)
         if spec.daemon_interval_ms is not None:
             self.rt.detect_partial_deadlock(spec.daemon_interval_ms)
+        self.scraper = None
+        if spec.scrape_interval_ms is not None:
+            from repro.telemetry.alerts import builtin_slo_rules
+
+            self.hub.enable_tsdb(
+                scrape_interval_ms=spec.scrape_interval_ms,
+                rules=builtin_slo_rules(
+                    daemon_interval_ms=spec.daemon_interval_ms,
+                    gc_interval_ms=spec.periodic_gc_ms))
+            self.scraper = self.rt.start_metrics_scrape(self.hub)
         self._install_program()
 
     # -- the workload ---------------------------------------------------------
@@ -261,6 +281,13 @@ class ShardRunner:
         result.num_gc = rt.collector.stats.num_gc
         result.reports = [r.as_dict() for r in rt.reports]
         result.report_texts = [r.format() for r in rt.reports]
+        if self.scraper is not None:
+            self.rt.stop_metrics_scrape()
+            # One final scrape at the (post-quiescence) end time, so
+            # the series and alert states cover the whole shard run.
+            self.hub.scrape_tick(rt.clock.now)
+            result.tsdb = self.hub.tsdb.to_dict()
+            result.alerts = self.hub.alerts.to_dict()
         result.fingerprints = self.hub.fingerprints.as_dict()
         result.metrics = self.hub.snapshot()["metrics"]
         result.memstats = rt.memstats().as_dict()

@@ -57,6 +57,7 @@ class FleetConfig:
         handler_work_us: int = 100,
         map_entries: int = 256,
         daemon_interval_ms: Optional[float] = None,
+        scrape_interval_ms: Optional[float] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be positive")
@@ -82,6 +83,9 @@ class FleetConfig:
         self.handler_work_us = handler_work_us
         self.map_entries = map_entries
         self.daemon_interval_ms = daemon_interval_ms
+        #: Per-shard TSDB scrape cadence (virtual ms); None = no
+        #: scraping (the default — existing artifacts stay byte-equal).
+        self.scrape_interval_ms = scrape_interval_ms
 
     def model(self) -> TrafficModel:
         return TrafficModel(
@@ -102,6 +106,7 @@ class FleetConfig:
             "handler_work_us": self.handler_work_us,
             "map_entries": self.map_entries,
             "daemon_interval_ms": self.daemon_interval_ms,
+            "scrape_interval_ms": self.scrape_interval_ms,
         }
 
 
@@ -136,7 +141,8 @@ class FleetSupervisor:
                 periodic_gc_ms=config.periodic_gc_ms,
                 handler_work_us=config.handler_work_us,
                 map_entries=config.map_entries,
-                daemon_interval_ms=config.daemon_interval_ms)
+                daemon_interval_ms=config.daemon_interval_ms,
+                scrape_interval_ms=config.scrape_interval_ms)
             for shard_id, user_ids in sorted(self.routing.items())
         ]
 

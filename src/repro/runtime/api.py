@@ -74,6 +74,9 @@ class Runtime:
         #: The detection daemon, once started (see
         #: :meth:`detect_partial_deadlock`).
         self._daemon = None
+        #: The TSDB metrics scraper, once started (see
+        #: :meth:`start_metrics_scrape`).
+        self._scraper = None
 
     # -- program setup ------------------------------------------------------
 
@@ -275,18 +278,63 @@ class Runtime:
     def tracer(self):
         return self.sched.tracer
 
-    def enable_telemetry(self, hub=None):
+    def enable_telemetry(self, hub=None, scrape_interval_ms=None):
         """Attach a telemetry hub (see :mod:`repro.telemetry`); returns it.
 
         With no argument a fresh :class:`TelemetryHub` is created.  The
         hub's metrics, flight recorder, profiles, and leak fingerprints
         all observe this runtime from here on.
+
+        ``scrape_interval_ms`` additionally turns on continuous
+        observation: the hub grows a virtual-time TSDB + alert engine
+        (if it does not have one yet) and a daemon-class
+        :class:`~repro.telemetry.tsdb.MetricsScraper` goroutine is
+        started at that cadence — scheduler-invisible, exactly like the
+        detection daemon, so enabling it never perturbs the simulation.
         """
         from repro.telemetry.hub import TelemetryHub
 
         if hub is None:
             hub = TelemetryHub()
-        return hub.attach(self)
+        hub.attach(self)
+        if scrape_interval_ms is not None:
+            if hub.tsdb is None:
+                hub.enable_tsdb(scrape_interval_ms=scrape_interval_ms)
+            self.start_metrics_scrape(hub, interval_ms=scrape_interval_ms)
+        return hub
+
+    def start_metrics_scrape(self, hub=None, interval_ms=None):
+        """Start the TSDB scraper daemon on this runtime; returns it.
+
+        ``hub`` defaults to the attached telemetry hub; ``interval_ms``
+        to the hub's ``scrape_interval_ms``.  Raises
+        :class:`~repro.telemetry.tsdb.ScraperError` on double-start or
+        when the hub has no TSDB enabled.
+        """
+        from repro.telemetry.tsdb import MetricsScraper, ScraperError
+
+        hub = hub if hub is not None else self.telemetry
+        if hub is None:
+            raise ScraperError("no telemetry hub attached to scrape")
+        if self._scraper is not None and self._scraper.running:
+            raise ScraperError("metrics scraper already running")
+        interval = (interval_ms if interval_ms is not None
+                    else hub.scrape_interval_ms or 5.0)
+        scraper = MetricsScraper(
+            self, hub, interval_ns=int(interval * MILLISECOND))
+        scraper.start()
+        self._scraper = scraper
+        return scraper
+
+    def stop_metrics_scrape(self) -> None:
+        """Stop the scraper daemon; a no-op when none is running."""
+        if self._scraper is not None:
+            self._scraper.stop()
+
+    @property
+    def metrics_scraper(self):
+        """The scraper controller, or None if never started."""
+        return self._scraper
 
     @property
     def telemetry(self):

@@ -1,0 +1,409 @@
+"""Prometheus-style alert rules evaluated at scrape time.
+
+Two rule shapes over the :class:`~repro.telemetry.tsdb.TimeSeriesDB`:
+
+- :class:`ThresholdRule` — compare a windowed aggregation (``latest`` /
+  ``delta`` / ``rate`` / ``avg`` / histogram ``quantile``) of a metric
+  against a threshold, per label set (Prometheus vector semantics) or
+  summed across every matching series into one scalar alert;
+- :class:`BurnRateRule` — multi-window error-budget burn over a
+  histogram: with SLO "fraction ``objective`` of observations must be
+  ``<= threshold``", the budget is ``1 - objective``, the windowed bad
+  fraction is ``(delta_count - delta_cum_le_threshold) / delta_count``,
+  and the rule fires when ``bad_fraction / budget > factor`` in *both*
+  the long and the short window — the short window is what lets the
+  alert resolve promptly once the burn stops.
+
+Each (rule, label set) pair runs the standard alert state machine
+``inactive -> pending -> firing -> resolved``: a true condition moves
+inactive to pending (immediately to firing when ``for_ns`` is zero),
+pending graduates to firing after the condition has held for
+``for_ns`` of virtual time, and a false/no-data evaluation drops the
+state back to inactive (emitting a ``resolved`` event when it was
+firing).  Every transition is appended to the engine's timeline with
+its virtual timestamp, so same-seed runs produce byte-identical alert
+histories.
+
+"No data" (operator returned ``None`` — an empty window, or fewer than
+two points for the differential operators) never fires a rule: at
+startup the TSDB simply has not seen enough scrapes yet.
+
+:func:`builtin_slo_rules` packages the SLOs this repo already claims:
+detection cadence vs ``min(daemon, GC)`` interval, recovery-time p99
+vs 2ms, the GC pause-window bound, recorder/tracer event loss, and the
+per-fingerprint leak rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runtime.clock import MILLISECOND
+from repro.telemetry.metrics import HISTOGRAM
+
+#: Mirrors ``repro.chaos.recovery.RECOVERY_P99_SLO_NS`` (importing it
+#: here would cycle telemetry -> chaos -> service -> telemetry).
+RECOVERY_TIME_SLO_NS = 2_000_000
+
+INACTIVE = "inactive"
+PENDING = "pending"
+FIRING = "firing"
+
+_OPS = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+    "==": lambda v, t: v == t,
+    "!=": lambda v, t: v != t,
+}
+
+_AGGS = ("latest", "delta", "rate", "avg", "quantile")
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(series) -> LabelSet:
+    return tuple(sorted(series.labels.items()))
+
+
+class ThresholdRule:
+    """``agg(metric[window]) OP threshold``, per label set.
+
+    ``metric`` may be a tuple of metric names; with ``sum_series`` the
+    aggregated values of *every* matching series (across all listed
+    metrics and label sets) are summed into a single scalar alert —
+    the detection-cadence rule uses this to add daemon checks and GC
+    cycles into one "did any detection pass land?" signal.
+    """
+
+    def __init__(self, name: str, metric: Union[str, Sequence[str]],
+                 op: str, threshold: float, window_ns: int = 0,
+                 agg: str = "latest", q: float = 0.99, for_ns: int = 0,
+                 sum_series: bool = False, severity: str = "warning",
+                 description: str = ""):
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {op!r}")
+        if agg not in _AGGS:
+            raise ValueError(f"agg must be one of {_AGGS}, got {agg!r}")
+        if agg != "latest" and window_ns <= 0:
+            raise ValueError(f"agg {agg!r} needs a positive window_ns")
+        self.name = name
+        self.metrics = ((metric,) if isinstance(metric, str)
+                        else tuple(metric))
+        self.op = op
+        self.threshold = threshold
+        self.window_ns = window_ns
+        self.agg = agg
+        self.q = q
+        self.for_ns = for_ns
+        self.sum_series = sum_series
+        self.severity = severity
+        self.description = description
+
+    def _value(self, series, now_ns: int) -> Optional[float]:
+        if self.agg == "quantile":
+            if series.kind != HISTOGRAM:
+                return None
+            return series.quantile(self.q, now_ns, self.window_ns)
+        if series.kind == HISTOGRAM:
+            return None  # scalar aggregations need a scalar series
+        if self.agg == "latest":
+            return series.latest(now_ns)
+        if self.agg == "delta":
+            return series.delta(now_ns, self.window_ns)
+        if self.agg == "rate":
+            return series.rate(now_ns, self.window_ns)
+        return series.avg_over_time(now_ns, self.window_ns)
+
+    def evaluate(self, tsdb,
+                 now_ns: int) -> Dict[LabelSet, Tuple[bool, float]]:
+        compare = _OPS[self.op]
+        values: List[Tuple[LabelSet, float]] = []
+        for metric in self.metrics:
+            for series in tsdb.series(metric):
+                value = self._value(series, now_ns)
+                if value is not None:
+                    values.append((_labelset(series), value))
+        if self.sum_series:
+            if not values:
+                return {}
+            total = sum(v for _, v in values)
+            return {(): (compare(total, self.threshold), total)}
+        return {labels: (compare(value, self.threshold), value)
+                for labels, value in values}
+
+    def describe(self) -> dict:
+        return {
+            "type": "threshold",
+            "name": self.name,
+            "metrics": list(self.metrics),
+            "agg": self.agg,
+            "q": self.q if self.agg == "quantile" else None,
+            "op": self.op,
+            "threshold": self.threshold,
+            "window_ns": self.window_ns,
+            "for_ns": self.for_ns,
+            "sum_series": self.sum_series,
+            "severity": self.severity,
+            "description": self.description,
+        }
+
+
+class BurnRateRule:
+    """Multi-window error-budget burn over one histogram metric."""
+
+    def __init__(self, name: str, metric: str, threshold: float,
+                 objective: float = 0.99,
+                 long_window_ns: int = 100 * MILLISECOND,
+                 short_window_ns: int = 25 * MILLISECOND,
+                 factor: float = 10.0, for_ns: int = 0,
+                 severity: str = "critical", description: str = ""):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if short_window_ns > long_window_ns:
+            raise ValueError("short window must not exceed the long one")
+        self.name = name
+        self.metric = metric
+        self.threshold = threshold
+        self.objective = objective
+        self.long_window_ns = long_window_ns
+        self.short_window_ns = short_window_ns
+        self.factor = factor
+        self.for_ns = for_ns
+        self.severity = severity
+        self.description = description
+
+    def evaluate(self, tsdb,
+                 now_ns: int) -> Dict[LabelSet, Tuple[bool, float]]:
+        budget = 1.0 - self.objective
+        out: Dict[LabelSet, Tuple[bool, float]] = {}
+        for series in tsdb.series(self.metric):
+            if series.kind != HISTOGRAM:
+                continue
+            bad_long = series.bad_fraction(
+                self.threshold, now_ns, self.long_window_ns)
+            bad_short = series.bad_fraction(
+                self.threshold, now_ns, self.short_window_ns)
+            if bad_long is None or bad_short is None:
+                continue
+            burn_long = bad_long / budget
+            burn_short = bad_short / budget
+            fired = burn_long > self.factor and burn_short > self.factor
+            out[_labelset(series)] = (fired, burn_long)
+        return out
+
+    def describe(self) -> dict:
+        return {
+            "type": "burn_rate",
+            "name": self.name,
+            "metrics": [self.metric],
+            "threshold": self.threshold,
+            "objective": self.objective,
+            "long_window_ns": self.long_window_ns,
+            "short_window_ns": self.short_window_ns,
+            "factor": self.factor,
+            "for_ns": self.for_ns,
+            "severity": self.severity,
+            "description": self.description,
+        }
+
+
+class _AlertState:
+    __slots__ = ("state", "since_ns", "value")
+
+    def __init__(self, state: str, since_ns: int, value: float):
+        self.state = state
+        self.since_ns = since_ns
+        self.value = value
+
+
+class AlertEngine:
+    """Evaluates rules against the TSDB and runs the state machines."""
+
+    def __init__(self, rules: Sequence[object]):
+        names = [r.name for r in rules]
+        if len(names) != len(set(names)):
+            raise ValueError("alert rule names must be unique")
+        self.rules = list(rules)
+        self._states: Dict[Tuple[str, LabelSet], _AlertState] = {}
+        #: Every state transition, in evaluation order: dicts with
+        #: ``t/rule/severity/labels/from/to/kind/value``.
+        self.timeline: List[dict] = []
+        self.evaluations = 0
+
+    def evaluate(self, tsdb, now_ns: int) -> None:
+        """One evaluation pass over every rule (called at scrape time)."""
+        self.evaluations += 1
+        for rule in self.rules:
+            results = rule.evaluate(tsdb, now_ns)
+            tracked = {labels for (name, labels) in self._states
+                       if name == rule.name}
+            for labels in sorted(set(results) | tracked):
+                fired, value = results.get(labels, (False, None))
+                self._transition(rule, labels, fired, value, now_ns)
+
+    def _transition(self, rule, labels: LabelSet, fired: bool,
+                    value: Optional[float], now_ns: int) -> None:
+        key = (rule.name, labels)
+        state = self._states.get(key)
+        current = state.state if state is not None else INACTIVE
+        if fired:
+            if current == INACTIVE:
+                new = FIRING if rule.for_ns <= 0 else PENDING
+            elif (current == PENDING
+                    and now_ns - state.since_ns >= rule.for_ns):
+                new = FIRING
+            else:
+                new = current
+        else:
+            new = INACTIVE
+        if new == current:
+            if state is not None and value is not None:
+                state.value = value
+            return
+        kind = "resolved" if (current == FIRING and new == INACTIVE) else new
+        self.timeline.append({
+            "t": now_ns,
+            "rule": rule.name,
+            "severity": rule.severity,
+            "labels": dict(labels),
+            "from": current,
+            "to": new,
+            "kind": kind,
+            "value": value,
+        })
+        if new == INACTIVE:
+            self._states.pop(key, None)
+        elif state is None:
+            self._states[key] = _AlertState(
+                new, now_ns, value if value is not None else 0.0)
+        else:
+            state.state = new
+            state.since_ns = now_ns
+            if value is not None:
+                state.value = value
+
+    # -- introspection -------------------------------------------------------
+
+    def state(self, rule_name: str,
+              labels: LabelSet = ()) -> str:
+        st = self._states.get((rule_name, labels))
+        return st.state if st is not None else INACTIVE
+
+    def active(self) -> List[dict]:
+        """Pending + firing alerts in deterministic order."""
+        out = []
+        for (name, labels) in sorted(self._states):
+            st = self._states[(name, labels)]
+            out.append({"rule": name, "labels": dict(labels),
+                        "state": st.state, "since_ns": st.since_ns,
+                        "value": st.value})
+        return out
+
+    def firing(self) -> List[dict]:
+        return [a for a in self.active() if a["state"] == FIRING]
+
+    def reset_states(self) -> None:
+        """Forget every live state (timeline is kept).  Used between
+        the runtimes of a chaos campaign, whose clocks restart at 0."""
+        self._states.clear()
+
+    def summary(self) -> Dict[str, dict]:
+        """Per-rule fired/resolved counters derived from the timeline."""
+        out: Dict[str, dict] = {
+            rule.name: {"fired": 0, "resolved": 0, "pending": 0,
+                        "active": 0, "severity": rule.severity}
+            for rule in self.rules
+        }
+        for event in self.timeline:
+            entry = out.get(event["rule"])
+            if entry is None:
+                continue
+            if event["to"] == FIRING:
+                entry["fired"] += 1
+            elif event["kind"] == "resolved":
+                entry["resolved"] += 1
+            elif event["to"] == PENDING:
+                entry["pending"] += 1
+        for alert in self.active():
+            if alert["rule"] in out:
+                out[alert["rule"]]["active"] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "rules": [rule.describe() for rule in self.rules],
+            "evaluations": self.evaluations,
+            "active": self.active(),
+            "summary": self.summary(),
+            "timeline": [dict(e) for e in self.timeline],
+        }
+
+
+def builtin_slo_rules(daemon_interval_ms: Optional[float] = None,
+                      gc_interval_ms: Optional[float] = None,
+                      recovery_slo_ns: int = RECOVERY_TIME_SLO_NS,
+                      gc_pause_window_slo_ns: int = 1 * MILLISECOND,
+                      leak_rate_per_s: float = 200.0) -> List[object]:
+    """The alert rules for the SLOs this repo already claims.
+
+    ``daemon_interval_ms`` / ``gc_interval_ms`` parameterize the
+    detection-cadence rule: a detection pass (daemon fixpoint or GC
+    cycle) must land within ``3 * min(daemon, GC)`` of virtual time —
+    the operational form of "leak detection latency is bounded by
+    ``min(daemon, GC)`` interval".
+    """
+    cadences = [ms for ms in (daemon_interval_ms, gc_interval_ms)
+                if ms is not None and ms > 0]
+    cadence_ms = min(cadences) if cadences else 100.0
+    cadence_window_ns = int(3 * cadence_ms * MILLISECOND)
+    return [
+        ThresholdRule(
+            "DetectionCadenceMissed",
+            metric=("repro_daemon_checks_total", "repro_gc_cycles_total"),
+            op="<", threshold=1, window_ns=cadence_window_ns,
+            agg="delta", sum_series=True, severity="critical",
+            # One full cadence of grace: a cold-started runtime has no
+            # checks in-window yet, which is not a missed cadence.
+            for_ns=int(cadence_ms * MILLISECOND),
+            description=(
+                f"no detection pass (daemon check or GC cycle) landed in "
+                f"3x the {cadence_ms:g}ms detection cadence — leak "
+                f"detection latency SLO at risk")),
+        BurnRateRule(
+            "RecoveryTimeBurnRate",
+            metric="repro_recovery_time_ns", threshold=recovery_slo_ns,
+            objective=0.99, factor=10.0,
+            long_window_ns=100 * MILLISECOND,
+            short_window_ns=25 * MILLISECOND, severity="critical",
+            description=(
+                "checkpoint/restart recoveries are blowing the 2ms p99 "
+                "budget at >=10x the sustainable burn rate")),
+        ThresholdRule(
+            "GCPauseWindowHigh",
+            metric="repro_gc_pause_window_ns", agg="quantile", q=0.99,
+            op=">", threshold=gc_pause_window_slo_ns,
+            window_ns=100 * MILLISECOND, severity="warning",
+            description=(
+                "p99 stop-the-world window exceeded the pause budget "
+                "over the last 100ms of virtual time")),
+        ThresholdRule(
+            "RecorderDrops",
+            metric="repro_recorder_dropped_total", op=">", threshold=0,
+            agg="latest", severity="warning",
+            description="flight-recorder ring is evicting events"),
+        ThresholdRule(
+            "TraceDrops",
+            metric="repro_trace_dropped_total", op=">", threshold=0,
+            agg="latest", severity="warning",
+            description="execution-tracer ring is evicting events"),
+        ThresholdRule(
+            "LeakRateHigh",
+            metric="repro_detector_leaks_total", agg="rate", op=">",
+            threshold=leak_rate_per_s, window_ns=100 * MILLISECOND,
+            severity="warning",
+            description=(
+                f"a defect site is leaking goroutines faster than "
+                f"{leak_rate_per_s:g}/s of virtual time")),
+    ]

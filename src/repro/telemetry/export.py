@@ -30,9 +30,12 @@ def validate_exposition(text: str) -> int:
     """Parse a Prometheus text exposition strictly.
 
     Returns the number of samples; raises :class:`ValueError` on any
-    malformed line (the CI job treats that as a build failure).
+    malformed line (the CI job treats that as a build failure) and on
+    two samples sharing a name and label set — duplicate series would
+    silently alias under a real scraper's last-write-wins.
     """
     samples = 0
+    seen = set()
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -44,11 +47,19 @@ def validate_exposition(text: str) -> int:
         if match is None:
             raise ValueError(f"line {lineno}: malformed sample {line!r}")
         labels = match.group("labels")
+        pairs = []
         if labels:
-            for pair in _split_labels(labels):
+            pairs = _split_labels(labels)
+            for pair in pairs:
                 if not _LABEL_RE.match(pair):
                     raise ValueError(
                         f"line {lineno}: malformed label {pair!r}")
+        series = (match.group("name"), tuple(sorted(pairs)))
+        if series in seen:
+            raise ValueError(
+                f"line {lineno}: duplicate series {line!r} "
+                f"(same name and label set seen earlier)")
+        seen.add(series)
         samples += 1
     if samples == 0:
         raise ValueError("exposition contains no samples")
@@ -102,9 +113,15 @@ def render_merged_prometheus(snapshots: Dict[str, dict],
         return (str(value).replace("\\", "\\\\").replace('"', '\\"')
                 .replace("\n", "\\n"))
 
+    def source_key(source):
+        # Numeric sources (shard ids) sort numerically, so shard 10
+        # lands after shard 2 — locale-free and stable for any mix.
+        s = str(source)
+        return (0, int(s), s) if s.isdigit() else (1, 0, s)
+
     # name -> (kind, help, [(source, sample), ...]) in deterministic order.
     merged: Dict[str, dict] = {}
-    for source in sorted(snapshots, key=str):
+    for source in sorted(snapshots, key=source_key):
         for name, metric in snapshots[source].items():
             entry = merged.setdefault(
                 name, {"kind": metric["kind"], "help": metric.get("help", ""),

@@ -110,6 +110,11 @@ class TelemetryHub:
         #: Weak refs to attached runtimes, for drop-count scraping (weak:
         #: a hub outliving its runtimes must not keep them resident).
         self._runtimes: List[weakref.ref] = []
+        #: Virtual-time TSDB + alert engine, off until
+        #: :meth:`enable_tsdb` — the no-TSDB hub costs nothing extra.
+        self.tsdb = None
+        self.alerts = None
+        self.scrape_interval_ms: Optional[float] = None
         self._build_instruments()
 
     def _build_instruments(self) -> None:
@@ -318,6 +323,42 @@ class TelemetryHub:
 
     def service(self, name: str) -> ServiceInstruments:
         return ServiceInstruments(self, name)
+
+    # -- time-series + alerting ----------------------------------------------
+
+    def enable_tsdb(self, scrape_interval_ms: float = 5.0, rules=None,
+                    max_points: int = 512):
+        """Attach a virtual-time TSDB and alert engine to this hub.
+
+        ``rules`` defaults to :func:`~repro.telemetry.alerts.
+        builtin_slo_rules`; pass an explicit list (possibly empty) to
+        override.  Scraping itself is driven by a
+        :class:`~repro.telemetry.tsdb.MetricsScraper` daemon on each
+        runtime (``Runtime.enable_telemetry(scrape_interval_ms=...)``
+        or ``Runtime.start_metrics_scrape``); ``scrape_interval_ms``
+        here records the cadence those scrapers default to.
+        """
+        from repro.telemetry.alerts import AlertEngine, builtin_slo_rules
+        from repro.telemetry.tsdb import TimeSeriesDB
+
+        if scrape_interval_ms <= 0:
+            raise ValueError("scrape_interval_ms must be positive")
+        self.tsdb = TimeSeriesDB(max_points=max_points)
+        self.alerts = AlertEngine(
+            builtin_slo_rules() if rules is None else rules)
+        self.scrape_interval_ms = float(scrape_interval_ms)
+        return self.tsdb
+
+    def scrape_tick(self, now_ns: int) -> None:
+        """One scrape: refresh derived gauges, ingest every series into
+        the TSDB, evaluate the alert rules at the scrape timestamp."""
+        if self.tsdb is None:
+            return
+        self.clock_ns.set(now_ns)
+        self._sync_drop_counts()
+        self.tsdb.scrape(self.registry, now_ns)
+        if self.alerts is not None:
+            self.alerts.evaluate(self.tsdb, now_ns)
 
     # -- scheduler callbacks (hot) -------------------------------------------
 

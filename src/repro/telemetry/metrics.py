@@ -52,6 +52,70 @@ def _escape_label(value: str) -> str:
             .replace("\n", "\\n"))
 
 
+def quantile_from_buckets(bounds: Sequence[float],
+                          cumulative: Sequence[float], q: float) -> float:
+    """Estimate the q-quantile from cumulative histogram buckets.
+
+    Prometheus ``histogram_quantile`` semantics: the target rank
+    ``q * total`` is located in the first bucket whose cumulative count
+    reaches it, and the value is linearly interpolated between the
+    bucket's bounds (the first bucket interpolates from 0).  A rank
+    landing in the ``+Inf`` bucket is clamped to the highest finite
+    bound.  Returns ``nan`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} cumulative counts "
+            f"(+Inf last), got {len(cumulative)}")
+    total = cumulative[-1]
+    if total <= 0:
+        return math.nan
+    rank = q * total
+    for i, cum in enumerate(cumulative):
+        prev = cumulative[i - 1] if i else 0
+        in_bucket = cum - prev
+        if in_bucket <= 0:
+            continue  # an empty bucket can't hold the rank
+        if cum >= rank:
+            if i == len(bounds):  # +Inf bucket: clamp
+                return float(bounds[-1]) if bounds else math.nan
+            lo = float(bounds[i - 1]) if i else 0.0
+            hi = float(bounds[i])
+            if rank <= prev:
+                return lo
+            return lo + (hi - lo) * (rank - prev) / in_bucket
+    return float(bounds[-1]) if bounds else math.nan
+
+
+def cumulative_at(bounds: Sequence[float], cumulative: Sequence[float],
+                  x: float) -> float:
+    """Estimated count of observations ``<= x`` (linear within buckets).
+
+    The inverse direction of :func:`quantile_from_buckets`, used by the
+    burn-rate rules: observations in the ``+Inf`` bucket are above every
+    finite ``x``, so ``x >= bounds[-1]`` returns the cumulative count of
+    the highest finite bucket.
+    """
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} cumulative counts "
+            f"(+Inf last), got {len(cumulative)}")
+    if not bounds or x < 0:
+        return 0.0
+    if x >= bounds[-1]:
+        return float(cumulative[-2])
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cum in zip(bounds, cumulative):
+        if x <= bound:
+            span = float(bound) - prev_bound
+            portion = 1.0 if span <= 0 else (x - prev_bound) / span
+            return prev_cum + portion * (cum - prev_cum)
+        prev_bound, prev_cum = float(bound), float(cum)
+    return float(cumulative[-2])
+
+
 class CounterChild:
     """One labeled series of a counter."""
 
@@ -111,6 +175,13 @@ class HistogramChild:
             total += c
             out.append(total)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile of everything observed so far (linear
+        interpolation within buckets, ``+Inf`` clamped to the highest
+        finite bound; ``nan`` when empty)."""
+        return quantile_from_buckets(self.buckets,
+                                     self.cumulative_counts(), q)
 
 
 _CHILD_TYPES = {COUNTER: CounterChild, GAUGE: GaugeChild,
@@ -178,13 +249,18 @@ class Metric:
     def observe(self, value: float) -> None:
         self._children[()].observe(value)
 
+    def quantile(self, q: float) -> float:
+        return self._children[()].quantile(q)
+
     @property
     def value(self):
         return self._children[()].value
 
     def series(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
-        """(label values, child) pairs in deterministic order."""
-        return sorted(self._children.items())
+        """(label values, child) pairs sorted by label-value tuple —
+        codepoint order, so the rendering is locale-independent no
+        matter when a child (or the metric itself) was registered."""
+        return sorted(self._children.items(), key=lambda kv: kv[0])
 
 
 class MetricsRegistry:

@@ -1,0 +1,264 @@
+"""Tests for the SLO alert-rule engine and its runtime integrations."""
+
+import pytest
+
+from repro.runtime.clock import MILLISECOND
+from repro.telemetry import (
+    AlertEngine,
+    BurnRateRule,
+    MetricsRegistry,
+    TelemetryHub,
+    ThresholdRule,
+    TimeSeriesDB,
+    builtin_slo_rules,
+)
+
+
+def _db_with_gauge(points, name="depth"):
+    """A TSDB holding one gauge series with the given (t, value) points."""
+    reg = MetricsRegistry()
+    g = reg.gauge(name)
+    db = TimeSeriesDB()
+    for t, v in points:
+        g.set(v)
+        db.scrape(reg, t)
+    return db
+
+
+class TestThresholdRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdRule("r", "m", op="~", threshold=1)
+        with pytest.raises(ValueError):
+            ThresholdRule("r", "m", op=">", threshold=1, agg="median")
+        with pytest.raises(ValueError):
+            ThresholdRule("r", "m", op=">", threshold=1, agg="rate")
+
+    def test_latest_threshold_fires(self):
+        db = _db_with_gauge([(10, 1.0), (20, 5.0)])
+        rule = ThresholdRule("High", "depth", op=">", threshold=3)
+        results = rule.evaluate(db, 20)
+        assert results == {(): (True, 5.0)}
+        assert rule.evaluate(db, 10) == {(): (False, 1.0)}
+
+    def test_no_data_does_not_fire(self):
+        rule = ThresholdRule("High", "missing", op=">", threshold=0)
+        assert rule.evaluate(TimeSeriesDB(), 100) == {}
+
+    def test_per_labelset_vector(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", labelnames=("q",))
+        db = TimeSeriesDB()
+        g.labels("a").set(10)
+        g.labels("b").set(1)
+        db.scrape(reg, 50)
+        rule = ThresholdRule("High", "depth", op=">", threshold=5)
+        results = rule.evaluate(db, 50)
+        assert results[(("q", "a"),)] == (True, 10.0)
+        assert results[(("q", "b"),)] == (False, 1.0)
+
+    def test_sum_series_collapses_to_scalar(self):
+        reg = MetricsRegistry()
+        c = reg.counter("checks_total", labelnames=("src",))
+        db = TimeSeriesDB()
+        c.labels("daemon").inc()
+        c.labels("gc").inc()
+        db.scrape(reg, 0)
+        c.labels("daemon").inc(2)
+        c.labels("gc").inc(1)
+        db.scrape(reg, 100)
+        rule = ThresholdRule(
+            "CadenceMissed", "checks_total", op="<", threshold=1,
+            agg="delta", window_ns=100, sum_series=True)
+        assert rule.evaluate(db, 100) == {(): (False, 3.0)}
+
+
+class TestAlertEngine:
+    def test_duplicate_rule_names_rejected(self):
+        r = ThresholdRule("Same", "m", op=">", threshold=1)
+        with pytest.raises(ValueError):
+            AlertEngine([r, ThresholdRule("Same", "m", op="<", threshold=1)])
+
+    def test_fire_and_resolve_cycle(self):
+        db = _db_with_gauge([(10, 1.0), (20, 9.0), (30, 1.0)])
+        engine = AlertEngine(
+            [ThresholdRule("High", "depth", op=">", threshold=5)])
+        engine.evaluate(db, 10)
+        assert engine.state("High") == "inactive"
+        engine.evaluate(db, 20)
+        assert engine.state("High") == "firing"
+        engine.evaluate(db, 30)
+        assert engine.state("High") == "inactive"
+        kinds = [e["kind"] for e in engine.timeline]
+        assert kinds == ["firing", "resolved"]
+
+    def test_for_ns_goes_through_pending(self):
+        db = _db_with_gauge([(10, 9.0), (20, 9.0), (30, 9.0)])
+        engine = AlertEngine([ThresholdRule(
+            "High", "depth", op=">", threshold=5, for_ns=15)])
+        engine.evaluate(db, 10)
+        assert engine.state("High") == "pending"
+        engine.evaluate(db, 20)   # held 10ns < 15ns: still pending
+        assert engine.state("High") == "pending"
+        engine.evaluate(db, 30)   # held 20ns >= 15ns: fires
+        assert engine.state("High") == "firing"
+
+    def test_pending_that_clears_never_fires(self):
+        db = _db_with_gauge([(10, 9.0), (20, 1.0)])
+        engine = AlertEngine([ThresholdRule(
+            "High", "depth", op=">", threshold=5, for_ns=15)])
+        engine.evaluate(db, 10)
+        engine.evaluate(db, 20)
+        assert engine.state("High") == "inactive"
+        assert [e["kind"] for e in engine.timeline] == [
+            "pending", "inactive"]
+        summary = engine.summary()["High"]
+        assert summary["fired"] == 0 and summary["pending"] == 1
+
+    def test_reset_states_keeps_timeline(self):
+        db = _db_with_gauge([(10, 9.0)])
+        engine = AlertEngine(
+            [ThresholdRule("High", "depth", op=">", threshold=5)])
+        engine.evaluate(db, 10)
+        assert engine.firing()
+        engine.reset_states()
+        assert not engine.active()
+        assert len(engine.timeline) == 1
+
+
+class TestBurnRateRule:
+    def _db(self, observations):
+        """Histogram 'lat' with buckets (100, 1000); obs = [(t, [v..])]."""
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(100, 1000))
+        db = TimeSeriesDB()
+        for t, values in observations:
+            for v in values:
+                h.observe(v)
+            db.scrape(reg, t)
+        return db
+
+    def test_fires_when_both_windows_burn(self):
+        # 10 observations, all over the 100ns threshold -> bad
+        # fraction 1.0, budget 0.01, burn 100 > factor 10.
+        db = self._db([(0, []), (50, [500] * 5), (100, [500] * 5)])
+        rule = BurnRateRule(
+            "Burn", "lat", threshold=100, objective=0.99, factor=10.0,
+            long_window_ns=100, short_window_ns=50)
+        results = rule.evaluate(db, 100)
+        fired, value = results[()]
+        assert fired and value == pytest.approx(100.0)
+
+    def test_quiet_long_window_blocks_firing(self):
+        # Burn only inside the short window: long window dilutes it
+        # below the factor, so the rule must not fire.
+        db = self._db([(0, []), (80, [50] * 98), (100, [500, 500])])
+        rule = BurnRateRule(
+            "Burn", "lat", threshold=100, objective=0.99, factor=10.0,
+            long_window_ns=100, short_window_ns=20)
+        fired, _ = rule.evaluate(db, 100)[()]
+        assert not fired
+
+    def test_no_observations_is_no_data(self):
+        db = self._db([(0, []), (100, [])])
+        rule = BurnRateRule(
+            "Burn", "lat", threshold=100,
+            long_window_ns=100, short_window_ns=50)
+        assert rule.evaluate(db, 100) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateRule("B", "lat", threshold=1, objective=1.5)
+        with pytest.raises(ValueError):
+            BurnRateRule("B", "lat", threshold=1,
+                         long_window_ns=10, short_window_ns=20)
+
+
+class TestBuiltinRules:
+    def test_covers_claimed_slos(self):
+        names = {r.name for r in builtin_slo_rules()}
+        assert names == {
+            "DetectionCadenceMissed", "RecoveryTimeBurnRate",
+            "GCPauseWindowHigh", "RecorderDrops", "TraceDrops",
+            "LeakRateHigh",
+        }
+
+    def test_cadence_window_tracks_min_interval(self):
+        rules = {r.name: r for r in builtin_slo_rules(
+            daemon_interval_ms=10.0, gc_interval_ms=40.0)}
+        cadence = rules["DetectionCadenceMissed"]
+        assert cadence.window_ns == 3 * 10 * MILLISECOND
+        assert cadence.for_ns == 10 * MILLISECOND
+
+    def test_engine_runs_builtin_rules_on_live_hub(self):
+        from repro.runtime.api import Runtime
+        from repro.runtime.instructions import Sleep
+
+        rt = Runtime(procs=2, seed=4)
+        hub = rt.enable_telemetry(scrape_interval_ms=2.0)
+        rt.enable_periodic_gc(10 * MILLISECOND)
+
+        def main():
+            for _ in range(30):
+                yield Sleep(MILLISECOND)
+
+        rt.spawn_main(main)
+        rt.run()
+        rt.stop_metrics_scrape()
+        hub.scrape_tick(rt.clock.now)
+        assert hub.alerts.evaluations > 10
+        # Periodic GC keeps the cadence SLO satisfied at the end.
+        assert hub.alerts.state("DetectionCadenceMissed") == "inactive"
+        assert not hub.alerts.firing()
+
+
+class TestRecoveryBurnRateEndToEnd:
+    """Satellite: injected stalls trip the recovery burn-rate rule."""
+
+    def _run(self):
+        from repro.service.checkpointed import (
+            CheckpointedConfig,
+            run_checkpointed,
+        )
+
+        hub = TelemetryHub()
+        # Tuned threshold below the pipeline's observed recovery time,
+        # so every rollback burns budget; short windows let the alert
+        # resolve once recoveries stop.
+        hub.enable_tsdb(scrape_interval_ms=2.0, rules=[BurnRateRule(
+            "RecoveryTimeBurnRate", metric="repro_recovery_time_ns",
+            threshold=100_000, objective=0.99, factor=10.0,
+            long_window_ns=20 * MILLISECOND,
+            short_window_ns=5 * MILLISECOND)])
+        result = run_checkpointed(CheckpointedConfig(seed=1),
+                                  telemetry=hub)
+        return result
+
+    def test_fires_and_resolves_deterministically(self):
+        result = self._run()
+        assert result.clean and result.recoveries >= 1
+        kinds = [e["kind"] for e in result.alerts]
+        assert "firing" in kinds and "resolved" in kinds
+        assert kinds.index("firing") < kinds.index("resolved")
+        again = self._run()
+        assert again.alerts == result.alerts
+        assert again.as_dict() == result.as_dict()
+
+
+class TestChaosRecordsAlerts:
+    def test_campaign_alert_slices_are_deterministic(self):
+        from repro.chaos.report import run_chaos_campaign
+
+        def run():
+            hub = TelemetryHub()
+            hub.enable_tsdb(scrape_interval_ms=2.0)
+            report = run_chaos_campaign(seeds=4, telemetry=hub)
+            return report
+
+        a, b = run(), run()
+        assert a.clean and b.clean
+        assert [s.alerts for s in a.schedules] == [
+            s.alerts for s in b.schedules]
+        # Schedule alert slices are part of the JSON artifact.
+        for doc in a.to_dict()["schedules"]:
+            assert "alerts" in doc

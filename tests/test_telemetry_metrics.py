@@ -195,3 +195,180 @@ class TestExtraLabels:
         text = self._registry().render_prometheus(
             extra_labels=(("shard", 'a"b\\c'),))
         assert validate_exposition(text) > 0
+
+
+class TestHistogramQuantile:
+    """Satellite: linear-interpolation quantiles over bucket cumulations."""
+
+    def test_uniform_distribution_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 20, 30, 40))
+        # 1..40 uniform: every bucket holds exactly 10 observations.
+        for v in range(1, 41):
+            h.observe(v)
+        assert h.quantile(0.25) == pytest.approx(10.0)
+        assert h.quantile(0.5) == pytest.approx(20.0)
+        assert h.quantile(0.75) == pytest.approx(30.0)
+        # Interpolation inside a bucket: rank 4 of 10 in (0, 10].
+        assert h.quantile(0.1) == pytest.approx(4.0)
+
+    def test_interpolates_within_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(100, 200))
+        for _ in range(4):
+            h.observe(150)  # all mass in (100, 200]
+        # rank q*4 of 4 within (100, 200]: linear from 100 to 200.
+        assert h.quantile(0.5) == pytest.approx(150.0)
+        assert h.quantile(1.0) == pytest.approx(200.0)
+
+    def test_inf_bucket_clamps_to_highest_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 100))
+        h.observe(5000)
+        h.observe(7000)
+        assert h.quantile(0.5) == 100.0
+        assert h.quantile(0.99) == 100.0
+
+    def test_empty_histogram_is_nan(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10,))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_q_out_of_range_rejected(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10,))
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_cumulative_at_interpolates(self):
+        from repro.telemetry import cumulative_at
+
+        # 10 obs uniform in (0, 100], 10 more in (100, 200].
+        bounds, cumulative = (100.0, 200.0), (10, 20, 20)
+        assert cumulative_at(bounds, cumulative, 50.0) == pytest.approx(5.0)
+        assert cumulative_at(bounds, cumulative, 100.0) == 10.0
+        assert cumulative_at(bounds, cumulative, 150.0) == pytest.approx(15.0)
+        assert cumulative_at(bounds, cumulative, 500.0) == 20.0
+        assert cumulative_at(bounds, cumulative, -1.0) == 0.0
+
+
+class TestMidRunRegistrationOrdering:
+    """Satellite: the exposition stays sorted even when series appear
+    mid-run, in any registration order."""
+
+    def test_series_sorted_regardless_of_registration_order(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labelnames=("k",))
+        c.labels("zebra").inc()
+        first = reg.render_prometheus()
+        assert validate_exposition(first) == 1
+        # A mid-run registration that sorts before the existing series.
+        c.labels("alpha").inc()
+        text = reg.render_prometheus()
+        assert validate_exposition(text) == 2
+        assert text.index('k="alpha"') < text.index('k="zebra"')
+
+    def test_two_registration_orders_render_identically(self):
+        def render(order):
+            reg = MetricsRegistry()
+            c = reg.counter("x_total", labelnames=("k",))
+            for key in order:
+                c.labels(key).inc()
+            return reg.render_prometheus()
+
+        assert render(["b", "a", "c"]) == render(["c", "b", "a"])
+
+
+class TestDuplicateSeriesRejected:
+    """Satellite: the validator must catch name+label-set aliasing."""
+
+    def test_duplicate_labelless_sample(self):
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_exposition("x_total 1\nx_total 2\n")
+
+    def test_duplicate_same_labels_different_order(self):
+        text = ('x_total{a="1",b="2"} 1\n'
+                'x_total{b="2",a="1"} 2\n')
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_exposition(text)
+
+    def test_distinct_label_values_accepted(self):
+        text = ('x_total{a="1"} 1\n'
+                'x_total{a="2"} 2\n')
+        assert validate_exposition(text) == 2
+
+
+class TestMergedPrometheusEdges:
+    """Satellite: render_merged_prometheus corner cases."""
+
+    def _snapshot(self, **series):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "requests", labelnames=("route",))
+        for route, n in series.items():
+            c.labels(route).inc(n)
+        return reg.snapshot()
+
+    def test_empty_sources_renders_no_samples(self):
+        from repro.telemetry import render_merged_prometheus
+
+        text = render_merged_prometheus({})
+        with pytest.raises(ValueError, match="no samples"):
+            validate_exposition(text)
+
+    def test_single_shard_fleet(self):
+        from repro.telemetry import render_merged_prometheus
+
+        text = render_merged_prometheus({"0": self._snapshot(a=3)})
+        assert validate_exposition(text) == 1
+        assert 'req_total{shard="0",route="a"} 3' in text
+
+    def test_source_with_empty_snapshot_is_skipped(self):
+        from repro.telemetry import render_merged_prometheus
+
+        text = render_merged_prometheus(
+            {"0": self._snapshot(a=1), "1": {}})
+        assert validate_exposition(text) == 1
+        assert 'shard="1"' not in text
+
+    def test_histogram_recumulation_disjoint_label_sets(self):
+        from repro.telemetry import render_merged_prometheus
+
+        def hist_snapshot(route, values):
+            reg = MetricsRegistry()
+            h = reg.histogram("lat", "latency", buckets=(10, 100),
+                              labelnames=("route",))
+            for v in values:
+                h.labels(route).observe(v)
+            return reg.snapshot()
+
+        text = render_merged_prometheus({
+            "0": hist_snapshot("a", [5, 50]),
+            "1": hist_snapshot("b", [500]),
+        })
+        assert validate_exposition(text) == 10
+        # Bucket counts re-cumulate per shard from the raw counts.
+        assert 'lat_bucket{shard="0",route="a",le="10"} 1' in text
+        assert 'lat_bucket{shard="0",route="a",le="+Inf"} 2' in text
+        assert 'lat_bucket{shard="1",route="b",le="100"} 0' in text
+        assert 'lat_bucket{shard="1",route="b",le="+Inf"} 1' in text
+        assert 'lat_sum{shard="1",route="b"} 500' in text
+
+    def test_numeric_shard_ordering(self):
+        from repro.telemetry import render_merged_prometheus
+
+        text = render_merged_prometheus(
+            {str(i): self._snapshot(a=1) for i in (0, 2, 10)})
+        assert (text.index('shard="0"') < text.index('shard="2"')
+                < text.index('shard="10"'))
+
+    def test_kind_mismatch_rejected(self):
+        from repro.telemetry import render_merged_prometheus
+
+        reg = MetricsRegistry()
+        reg.gauge("req_total").set(1)
+        with pytest.raises(ValueError, match="kind"):
+            render_merged_prometheus(
+                {"0": self._snapshot(a=1), "1": reg.snapshot()})
